@@ -1,0 +1,47 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports, so `pytest benchmarks/
+--benchmark-only -s` doubles as the experiment runner.
+
+By default the RISC-V core is scaled down (xlen=16, nregs=16) so the
+whole suite finishes in minutes.  Set ``REPRO_FULL_SCALE=1`` to run the
+paper-scale 32-bit core (the numbers recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.synth import RiscvConfig, generate_riscv_core
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") == "1"
+
+CORE = RiscvConfig() if FULL_SCALE else RiscvConfig(xlen=16, nregs=16,
+                                                    name="rv16")
+
+#: Utilization grids — coarser when scaled down to keep runtime sane.
+UTILIZATIONS = (0.46, 0.56, 0.66, 0.76, 0.80, 0.84, 0.86) if FULL_SCALE \
+    else (0.50, 0.62, 0.70, 0.76)
+FIG11_UTILIZATIONS = (0.46, 0.52, 0.58, 0.64, 0.70, 0.76) if FULL_SCALE \
+    else (0.52, 0.64, 0.76)
+FREQ_TARGETS = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0) if FULL_SCALE \
+    else (0.5, 1.5, 3.0)
+
+
+def riscv_factory():
+    return generate_riscv_core(CORE)
+
+
+@pytest.fixture(scope="session")
+def core_factory():
+    return riscv_factory
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,67 @@
+"""Fig. 10: frequency-area relationship at a 1.5 GHz synthesis target.
+
+Paper: the FFET FM12 reaches 16.0 % higher frequency than the CFET's
+maximum at the same core area, and 23.4 % higher at the respective
+maximum frequencies.
+"""
+
+from repro.core import FlowConfig, PPAResult
+from repro.core.sweeps import frequency_area_sweep
+
+from conftest import UTILIZATIONS, print_header, riscv_factory
+
+CONFIGS = {
+    "CFET": FlowConfig(arch="cfet", back_layers=0, backside_pin_fraction=0.0,
+                       target_frequency_ghz=1.5),
+    "FFET FM12": FlowConfig(arch="ffet", back_layers=0,
+                            backside_pin_fraction=0.0,
+                            target_frequency_ghz=1.5),
+}
+
+
+def run_fig10():
+    return {
+        name: frequency_area_sweep(riscv_factory, config, UTILIZATIONS)
+        for name, config in CONFIGS.items()
+    }
+
+
+def test_fig10_frequency_area(benchmark):
+    sweeps = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+
+    print_header("Fig. 10: frequency vs core area (1.5 GHz target)")
+    print(f"{'util':>6}{'CFET area':>11}{'CFET f':>8}"
+          f"{'FFET area':>11}{'FFET f':>8}")
+    curves = {name: [] for name in CONFIGS}
+    for i, util in enumerate(UTILIZATIONS):
+        row = f"{util:>6.2f}"
+        for name in CONFIGS:
+            run = sweeps[name][i]
+            if isinstance(run, PPAResult) and run.valid:
+                curves[name].append(run)
+                row += f"{run.core_area_um2:>11.1f}" \
+                    f"{run.achieved_frequency_ghz:>8.2f}"
+            else:
+                row += f"{'--':>11}{'--':>8}"
+        print(row)
+
+    cfet_fmax = max(r.achieved_frequency_ghz for r in curves["CFET"])
+    ffet_fmax = max(r.achieved_frequency_ghz for r in curves["FFET FM12"])
+    print(f"\nFFET FM12 vs CFET at respective max frequency: "
+          f"{ffet_fmax / cfet_fmax - 1:+.1%} (paper: +23.4%)")
+
+    # Same-core-area comparison: smallest FFET area that is still at
+    # least as large as some CFET point.
+    cfet_by_area = sorted(curves["CFET"], key=lambda r: r.core_area_um2)
+    gains = []
+    for ffet_run in curves["FFET FM12"]:
+        candidates = [r for r in cfet_by_area
+                      if r.core_area_um2 <= ffet_run.core_area_um2]
+        if candidates:
+            best_cfet = max(c.achieved_frequency_ghz for c in candidates)
+            gains.append(ffet_run.achieved_frequency_ghz / best_cfet - 1)
+    if gains:
+        print(f"FFET FM12 vs CFET max frequency at same (or larger CFET) "
+              f"core area: {max(gains):+.1%} (paper: +16.0%)")
+
+    assert ffet_fmax > cfet_fmax

@@ -1,0 +1,53 @@
+"""Fig. 11: power-frequency clouds for five input-pin density DoEs.
+
+Paper: FP0.5BP0.5 and FP0.6BP0.4 show the best power-frequency
+characteristics, followed by FP0.7BP0.3, with FP0.84BP0.16 and
+FP0.96BP0.04 trailing; each cloud is a utilization sweep (46-76 %) at a
+1.5 GHz target with FM12BM12 routing, summarized by a 50 % confidence
+ellipse.
+"""
+
+from repro.core import FlowConfig
+from repro.core.doe import PIN_DENSITY_DOES, pin_density_doe
+
+from conftest import FIG11_UTILIZATIONS, FULL_SCALE, print_header, riscv_factory
+
+FRACTIONS = PIN_DENSITY_DOES if FULL_SCALE else (0.04, 0.3, 0.5)
+
+
+def run_fig11():
+    base = FlowConfig(arch="ffet", backside_pin_fraction=0.5,
+                      target_frequency_ghz=1.5)
+    return pin_density_doe(riscv_factory, base, fractions=FRACTIONS,
+                           utilizations=FIG11_UTILIZATIONS)
+
+
+def test_fig11_pin_density_does(benchmark):
+    clouds = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+
+    print_header("Fig. 11: power-frequency clouds per pin-density DoE "
+                 "(50% confidence ellipses)")
+    print(f"{'DoE':<28}{'pts':>4}{'mean f GHz':>11}{'mean P mW':>10}"
+          f"{'f/P':>8}{'ellipse fxP':>22}")
+    for cloud in clouds:
+        ell = cloud.ellipse
+        ell_txt = (f"{ell.semi_major:.3f} x {ell.semi_minor:.3f}"
+                   if ell else "n/a")
+        print(f"{cloud.label:<28}{len(cloud.results):>4}"
+              f"{cloud.mean_frequency_ghz:>11.3f}"
+              f"{cloud.mean_power_mw:>10.3f}"
+              f"{cloud.merit:>8.3f}{ell_txt:>22}")
+
+    ranked = sorted(clouds, key=lambda c: -c.merit)
+    print("\nRanking by frequency-per-power merit:")
+    for i, cloud in enumerate(ranked, 1):
+        print(f"  {i}. {cloud.label}")
+    print("Paper ranking: FP0.5BP0.5 ~ FP0.6BP0.4 > FP0.7BP0.3 > "
+          "FP0.84BP0.16 > FP0.96BP0.04")
+
+    by_fraction = {c.backside_fraction: c for c in clouds}
+    # The nearly single-sided DoE (BP0.04) may lose its highest-
+    # utilization points to pin-access DRVs — that is the paper's point.
+    assert all(len(c.results) >= 2 for c in clouds)
+    # Balanced pins should not lose to the nearly single-sided DoE.
+    assert by_fraction[0.5].merit >= by_fraction[0.04].merit * 0.97

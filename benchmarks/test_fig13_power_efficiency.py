@@ -1,0 +1,48 @@
+"""Fig. 13: power efficiency vs symmetric routing-layer count.
+
+Paper: at a 1.5 GHz target and 76 % utilization, the FFET FP0.5BP0.5's
+power efficiency degrades by only 0.68 % when the layer count shrinks
+from 12 to 5 per side — the cost-friendly design headroom.
+"""
+
+from repro.core import FlowConfig, PPAResult
+from repro.core.sweeps import layer_count_efficiency_sweep
+
+from conftest import FULL_SCALE, print_header, riscv_factory
+
+LAYER_COUNTS = (3, 4, 5, 6, 8, 10, 12) if FULL_SCALE else (3, 5, 8, 12)
+UTIL = 0.70
+
+
+def run_fig13():
+    base = FlowConfig(arch="ffet", backside_pin_fraction=0.5,
+                      target_frequency_ghz=1.5, utilization=UTIL)
+    return layer_count_efficiency_sweep(riscv_factory, base,
+                                        layer_counts=LAYER_COUNTS)
+
+
+def test_fig13_power_efficiency_vs_layers(benchmark):
+    points = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+
+    baseline = next(p.result for p in points if p.front_layers == 12)
+    assert isinstance(baseline, PPAResult)
+
+    print_header("Fig. 13: power efficiency vs layers per side "
+                 f"(FFET FP0.5BP0.5, {UTIL:.0%} util, 1.5 GHz target)")
+    print(f"{'layers/side':>12}{'GHz/mW':>10}{'vs 12+12':>10}{'valid':>7}")
+    for point in points:
+        run = point.result
+        if not isinstance(run, PPAResult):
+            print(f"{point.front_layers:>12}{'--':>10}{'--':>10}{'fail':>7}")
+            continue
+        diff = run.power_efficiency / baseline.power_efficiency - 1
+        print(f"{point.front_layers:>12}{run.power_efficiency:>10.4f}"
+              f"{diff:>+9.1%}{str(run.valid):>7}")
+    print("\nPaper: only -0.68% efficiency from 12 to 5 layers per side")
+
+    # Efficiency at 5+ layers must be within a few percent of 12+12.
+    for point in points:
+        if point.front_layers >= 5 and isinstance(point.result, PPAResult):
+            diff = point.result.power_efficiency / \
+                baseline.power_efficiency - 1
+            assert diff > -0.12, f"{point.label}: {diff:+.1%}"

@@ -1,0 +1,35 @@
+"""Fig. 4: standard-cell area comparison, 3.5T FFET vs 4T CFET."""
+
+import pytest
+
+from repro import build_library, make_cfet_node, make_ffet_node
+from repro.cells import cell_area_table
+
+from conftest import print_header
+
+
+def run_fig4():
+    ffet = build_library(make_ffet_node())
+    cfet = build_library(make_cfet_node())
+    return cell_area_table(ffet, cfet)
+
+
+def test_fig4_cell_area(benchmark):
+    rows = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    table = {r["cell"]: r for r in rows}
+
+    print_header("Fig. 4: cell area, FFET vs CFET "
+                 "(paper: ~-12.5%, more for MUX/DFF, waste in AOI22/OAI22)")
+    print(f"{'cell':<10}{'FFET um2':>12}{'CFET um2':>12}{'diff':>9}")
+    for row in rows:
+        print(f"{row['cell']:<10}{row['ffet_area_nm2'] / 1e6:>12.5f}"
+              f"{row['cfet_area_nm2'] / 1e6:>12.5f}"
+              f"{row['area_diff'] * 100:>+8.1f}%")
+    mean = sum(r["area_diff"] for r in rows) / len(rows)
+    print(f"\nmean area diff: {mean * 100:+.1f}% "
+          "(paper headline: -12.5% cell height scaling)")
+
+    assert table["INVD1"]["area_diff"] == pytest.approx(-0.125)
+    assert table["MUX2D1"]["area_diff"] < -0.2   # Split Gate
+    assert table["DFFD1"]["area_diff"] < -0.2    # Split Gate
+    assert table["AOI22D1"]["area_diff"] > -0.05  # Drain Merge waste

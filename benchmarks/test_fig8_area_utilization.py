@@ -1,0 +1,90 @@
+"""Fig. 8: core area vs utilization; maximum utilization per config.
+
+Paper: (a) FFET FM12BM12 reaches 86 % utilization (tap-cell limited),
+higher than the CFET; 23.3 % core-area cut at the same utilization and
+25.1 % at the respective minimum areas.  (c) FFET FM12 (frontside-only
+signals) drops to 76 % maximum utilization.
+"""
+
+from repro.core import FlowConfig, PPAResult
+from repro.core.sweeps import utilization_sweep
+
+from conftest import UTILIZATIONS, print_header, riscv_factory
+
+CONFIGS = {
+    "CFET": FlowConfig(arch="cfet", back_layers=0, backside_pin_fraction=0.0),
+    "FFET FM12BM12": FlowConfig(arch="ffet", backside_pin_fraction=0.5),
+    "FFET FM12": FlowConfig(arch="ffet", back_layers=0,
+                            backside_pin_fraction=0.0),
+}
+
+
+def run_fig8():
+    sweeps = {}
+    for name, config in CONFIGS.items():
+        sweeps[name] = utilization_sweep(riscv_factory, config, UTILIZATIONS)
+    return sweeps
+
+
+def test_fig8_area_vs_utilization(benchmark):
+    sweeps = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+
+    print_header("Fig. 8(a)/(c): core area vs utilization")
+    print(f"{'util':>6}", end="")
+    for name in CONFIGS:
+        print(f"{name:>18}", end="")
+    print()
+    for i, util in enumerate(UTILIZATIONS):
+        print(f"{util:>6.2f}", end="")
+        for name in CONFIGS:
+            run = sweeps[name][i]
+            if isinstance(run, PPAResult):
+                mark = "" if run.valid else "*"
+                print(f"{run.core_area_um2:>16.1f}{mark:<2}", end="")
+            else:
+                print(f"{'placement-fail':>18}", end="")
+        print()
+    print("(* = DRV count >= 10, invalid)")
+
+    def max_valid(name):
+        valid = [
+            (u, r) for u, r in zip(UTILIZATIONS, sweeps[name])
+            if isinstance(r, PPAResult) and r.valid
+        ]
+        return max(valid, key=lambda t: t[0]) if valid else (0.0, None)
+
+    results = {name: max_valid(name) for name in CONFIGS}
+    print("\nMaximum valid utilization:")
+    for name, (util, _run) in results.items():
+        print(f"  {name}: {util:.0%}")
+    print("Paper: FFET FM12BM12 86% > CFET; FFET FM12 76%")
+
+    dual_util, dual_best = results["FFET FM12BM12"]
+    cfet_util, cfet_best = results["CFET"]
+    fm12_util, _ = results["FFET FM12"]
+    assert dual_util >= cfet_util > 0
+    assert fm12_util < cfet_util
+
+    # Area comparison at the shared utilization / respective minima.
+    shared = min(dual_util, cfet_util)
+    i = UTILIZATIONS.index(shared)
+    dual_at = sweeps["FFET FM12BM12"][i]
+    cfet_at = sweeps["CFET"][i]
+    same_util_gain = dual_at.core_area_um2 / cfet_at.core_area_um2 - 1
+    min_area_gain = dual_best.core_area_um2 / cfet_best.core_area_um2 - 1
+    print(f"\nFFET FM12BM12 vs CFET core area at {shared:.0%} util: "
+          f"{same_util_gain:+.1%} (paper: -23.3%)")
+    print(f"FFET FM12BM12 vs CFET at respective min area: "
+          f"{min_area_gain:+.1%} (paper: -25.1%)")
+    assert same_util_gain < -0.10
+    assert min_area_gain < -0.10
+
+    # Fig. 8(b) stand-in: layout summary at the shared utilization.
+    print(f"\nFig. 8(b) layout summary at {shared:.0%} utilization:")
+    for name, run in (("FFET FM12BM12", dual_at), ("CFET", cfet_at)):
+        print(f"  {name}: {run.cell_count} cells, "
+              f"{run.tap_cell_count} taps/nTSVs, "
+              f"core {run.core_area_um2:.1f} um2, "
+              f"wirelength {run.total_wirelength_um:.0f} um "
+              f"(front {run.front_wirelength_um:.0f} / "
+              f"back {run.back_wirelength_um:.0f})")

@@ -1,0 +1,86 @@
+"""Fig. 9: power-frequency relationship, CFET vs FFET FM12.
+
+Paper: sweeping the synthesis target from 500 MHz to 3 GHz at 76 %
+utilization, the FFET FM12 outperforms the CFET by 25 % in frequency
+and 11.9 % in power.  The frequency gain is read at matched synthesis
+targets; the power gain at matched operating frequency (the curves'
+vertical distance).
+"""
+
+from repro.core import FlowConfig, PPAResult
+from repro.core.sweeps import frequency_sweep
+
+from conftest import FREQ_TARGETS, print_header, riscv_factory
+
+UTIL = 0.70  # valid for both configurations at any scale
+
+CONFIGS = {
+    "CFET": FlowConfig(arch="cfet", back_layers=0, backside_pin_fraction=0.0,
+                       utilization=UTIL),
+    "FFET FM12": FlowConfig(arch="ffet", back_layers=0,
+                            backside_pin_fraction=0.0, utilization=UTIL),
+}
+
+
+def run_fig9():
+    return {
+        name: frequency_sweep(riscv_factory, config, FREQ_TARGETS)
+        for name, config in CONFIGS.items()
+    }
+
+
+def _power_at_frequency(points, freq):
+    """Linear interpolation of power at a given operating frequency."""
+    points = sorted((p.achieved_frequency_ghz, p.total_power_mw)
+                    for p in points)
+    if freq <= points[0][0]:
+        return points[0][1]
+    for (f0, p0), (f1, p1) in zip(points, points[1:]):
+        if f0 <= freq <= f1:
+            if f1 == f0:
+                return p0
+            t = (freq - f0) / (f1 - f0)
+            return p0 + t * (p1 - p0)
+    return points[-1][1]
+
+
+def test_fig9_power_frequency(benchmark):
+    sweeps = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+
+    print_header(f"Fig. 9: power-frequency at {UTIL:.0%} utilization")
+    print(f"{'target GHz':>11}"
+          f"{'CFET f':>9}{'CFET P':>9}{'FFET f':>9}{'FFET P':>9}")
+    cfet_points, ffet_points = [], []
+    for i, target in enumerate(FREQ_TARGETS):
+        cfet = sweeps["CFET"][i]
+        ffet = sweeps["FFET FM12"][i]
+        assert isinstance(cfet, PPAResult) and isinstance(ffet, PPAResult)
+        cfet_points.append(cfet)
+        ffet_points.append(ffet)
+        print(f"{target:>11.1f}{cfet.achieved_frequency_ghz:>9.2f}"
+              f"{cfet.total_power_mw:>9.2f}"
+              f"{ffet.achieved_frequency_ghz:>9.2f}"
+              f"{ffet.total_power_mw:>9.2f}")
+
+    cfet_fmax = max(p.achieved_frequency_ghz for p in cfet_points)
+    ffet_fmax = max(p.achieved_frequency_ghz for p in ffet_points)
+    freq_gain = ffet_fmax / cfet_fmax - 1
+
+    # Power at matched operating frequency: evaluate the CFET curve at
+    # each valid FFET point's frequency (within the overlap).
+    diffs = []
+    for p in ffet_points:
+        f = p.achieved_frequency_ghz
+        if f <= cfet_fmax:
+            diffs.append(p.total_power_mw / _power_at_frequency(
+                cfet_points, f) - 1)
+    power_gain = sum(diffs) / len(diffs) if diffs else float("nan")
+
+    print(f"\nFFET FM12 vs CFET max achieved frequency: {freq_gain:+.1%} "
+          "(paper: +25.0%)")
+    print(f"FFET FM12 vs CFET power at matched frequency: {power_gain:+.1%} "
+          "(paper: -11.9%)")
+
+    assert freq_gain > 0.05          # FFET clearly faster
+    if diffs:
+        assert power_gain < 0.02     # no power penalty at iso-frequency

@@ -1,0 +1,51 @@
+"""Table I: library characterization KPI diffs, FFET vs CFET."""
+
+from repro import build_library, make_cfet_node, make_ffet_node
+from repro.cells import (
+    TABLE_I_CELLS,
+    TABLE_I_KPIS,
+    format_kpi_table,
+    library_kpi_diff,
+)
+
+from conftest import print_header
+
+#: Paper values (percent) for reference printing.
+PAPER_TABLE_I = {
+    "transition_power": (0.3, 0.3, 0.2, -3.0, -10.9, -11.8),
+    "leakage_power": (0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+    "rise_timing": (-2.5, -2.8, 6.8, -10.1, -12.8, -13.6),
+    "fall_timing": (-8.1, -9.9, -13.6, -10.7, -14.4, -15.8),
+    "rise_transition": (-1.1, -1.2, -4.9, -3.9, -8.4, 9.2),
+    "fall_transition": (-4.0, -2.4, -3.4, -5.1, -6.5, -9.7),
+}
+
+
+def run_table1():
+    ffet = build_library(make_ffet_node())
+    cfet = build_library(make_cfet_node())
+    return library_kpi_diff(ffet, cfet)
+
+
+def test_table1_library_characterization(benchmark):
+    table = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    print_header("Table I: FFET library KPI diffs w.r.t. CFET")
+    print(format_kpi_table(table))
+    print("\nPaper values (%):")
+    header = f"{'KPI':<18}" + "".join(f"{c:>9}" for c in TABLE_I_CELLS)
+    print(header)
+    for kpi in TABLE_I_KPIS:
+        row = f"{kpi:<18}"
+        for value in PAPER_TABLE_I[kpi]:
+            row += f"{value:>+8.1f}%"
+        print(row)
+
+    # Shape assertions mirroring the paper's signature.
+    for cell in TABLE_I_CELLS:
+        assert table[cell]["leakage_power"] == 0.0
+        assert table[cell]["fall_timing"] < 0.0
+    for cell in ("BUFD1", "BUFD2", "BUFD4"):
+        assert table[cell]["transition_power"] < 0.0
+    assert table["BUFD4"]["transition_power"] < \
+        table["BUFD1"]["transition_power"]

@@ -1,0 +1,37 @@
+"""Table II: design rules (layer pitches) of the virtual 5 nm node.
+
+Table II is an *input* to the paper's flow; this benchmark verifies the
+stackups reproduce it exactly and prints it in the paper's layout.
+"""
+
+from repro.tech import TABLE_II, build_stackup, pitch_for
+
+from conftest import print_header
+
+
+def run_table2():
+    return build_stackup("cfet"), build_stackup("ffet")
+
+
+def test_table2_design_rules(benchmark):
+    cfet, ffet = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+
+    print_header("Table II: design rules (pitch in nm)")
+    print(f"{'Layer':<8}{'4T CFET':>10}{'3.5T FFET':>12}")
+    for name, (cfet_pitch, ffet_pitch) in TABLE_II.items():
+        def fmt(p):
+            return f"{p:.0f}" if p is not None else "/"
+        print(f"{name:<8}{fmt(cfet_pitch):>10}{fmt(ffet_pitch):>12}")
+
+    # Stackups must reproduce the table exactly.
+    for name, (cfet_pitch, ffet_pitch) in TABLE_II.items():
+        for stackup, pitch in ((cfet, cfet_pitch), (ffet, ffet_pitch)):
+            if pitch is None:
+                assert stackup.get(name) is None
+            else:
+                assert stackup[name].pitch_nm == pitch
+
+    # Footnote c: CFET BM1/BM2 are PDN-only.
+    assert not cfet["BM1"].is_routable
+    assert not cfet["BM2"].is_routable
+    assert ffet["BM1"].is_routable

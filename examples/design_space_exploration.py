@@ -1,0 +1,65 @@
+"""Design-space exploration: pin density and BEOL layer co-optimization.
+
+Runs scaled-down versions of the paper's Section IV explorations:
+
+* Fig. 11: power-frequency clouds for several backside input-pin
+  densities, summarized by 50 % confidence ellipses,
+* Table III: frontside/backside routing-layer splits with the total
+  capped at 12 layers, against the single-sided FFET FM12 baseline,
+* Fig. 12/13 style: symmetric layer-count reduction.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro.core import FlowConfig
+from repro.core.doe import cooptimization_table, pin_density_doe
+from repro.core.sweeps import layer_count_efficiency_sweep
+from repro.synth import RiscvConfig, generate_riscv_core
+
+
+def main() -> None:
+    core = RiscvConfig(xlen=8, nregs=16, name="rv8")
+
+    def factory():
+        return generate_riscv_core(core)
+
+    base = FlowConfig(arch="ffet", backside_pin_fraction=0.5,
+                      target_frequency_ghz=1.5)
+
+    print("== Fig. 11: input-pin density DoEs ==")
+    clouds = pin_density_doe(factory, base, fractions=(0.04, 0.3, 0.5),
+                             utilizations=(0.5, 0.6, 0.7))
+    for cloud in sorted(clouds, key=lambda c: -c.merit):
+        ell = cloud.ellipse
+        print(f"  {cloud.label}: mean f={cloud.mean_frequency_ghz:.2f} GHz, "
+              f"mean P={cloud.mean_power_mw:.2f} mW, "
+              f"ellipse area={ell.area:.4f}" if ell else
+              f"  {cloud.label}: too few valid points")
+
+    print("\n== Table III: layer-split co-optimization (total = 8) ==")
+    rows = cooptimization_table(factory, base, fractions=(0.3, 0.5),
+                                total_layers=8, utilization=0.7, keep_top=2)
+    for row in rows:
+        print(f"  FP{1 - row.backside_fraction:g}BP{row.backside_fraction:g} "
+              f"{row.pattern}: freq {row.frequency_diff:+.1%}, "
+              f"power {row.power_diff:+.1%}")
+
+    print("\n== Fig. 13: symmetric layer reduction ==")
+    points = layer_count_efficiency_sweep(factory,
+                                          base.with_(utilization=0.7),
+                                          layer_counts=(4, 6, 8, 12))
+    baseline = points[-1].result
+    for point in points:
+        if point.result is None or not point.result.valid:
+            print(f"  {point.label}: not routable")
+            continue
+        eff = point.result.power_efficiency
+        diff = eff / baseline.power_efficiency - 1
+        print(f"  {point.label}: efficiency {eff:.3f} GHz/mW ({diff:+.2%} "
+              "vs FM12BM12)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: build both libraries, compare them, run one full flow.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import build_library, make_cfet_node, make_ffet_node
+from repro.cells import cell_area_table, format_kpi_table, library_kpi_diff
+from repro.core import FlowConfig, run_flow
+from repro.synth import RiscvConfig, generate_riscv_core
+
+
+def main() -> None:
+    # 1. Characterize the 3.5T FFET and 4T CFET libraries on the
+    #    virtual 5 nm node (Table II design rules).
+    ffet_lib = build_library(make_ffet_node())
+    cfet_lib = build_library(make_cfet_node())
+
+    # 2. Library-level comparison: Table I KPIs and Fig. 4 cell areas.
+    print(format_kpi_table(library_kpi_diff(ffet_lib, cfet_lib)))
+    print()
+    print("Cell area, FFET vs CFET (Fig. 4):")
+    for row in cell_area_table(ffet_lib, cfet_lib):
+        print(f"  {row['cell']:<10} {row['area_diff'] * 100:+6.1f}%")
+    print()
+
+    # 3. Run the full physical-implementation + PPA flow on a scaled
+    #    RISC-V core (xlen=16 keeps the example fast; use the default
+    #    RiscvConfig() for the paper-scale 32-bit core).
+    core = RiscvConfig(xlen=16, nregs=16, name="rv16_demo")
+
+    def netlist_factory():
+        return generate_riscv_core(core)
+
+    for config in (
+        FlowConfig(arch="ffet", backside_pin_fraction=0.5, utilization=0.70),
+        FlowConfig(arch="cfet", back_layers=0, backside_pin_fraction=0.0,
+                   utilization=0.70),
+    ):
+        result = run_flow(netlist_factory, config)
+        print(result.summary())
+
+
+if __name__ == "__main__":
+    main()

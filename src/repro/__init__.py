@@ -1,0 +1,38 @@
+"""FFET dual-sided physical implementation and block-level PPA framework.
+
+Reproduction of "A Tale of Two Sides of Wafer: Physical Implementation
+and Block-Level PPA on Flip FET with Dual-Sided Signals" (DATE 2025).
+
+Quickstart::
+
+    from repro import make_ffet_node, make_cfet_node, build_library
+
+    ffet = build_library(make_ffet_node())
+    cfet = build_library(make_cfet_node())
+"""
+
+from .tech import Side, TechNode, make_cfet_node, make_ffet_node
+from .cells import (
+    Library,
+    build_library,
+    cell_area_table,
+    library_kpi_diff,
+    pin_density_label,
+    redistribute_input_pins,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Library",
+    "Side",
+    "TechNode",
+    "__version__",
+    "build_library",
+    "cell_area_table",
+    "library_kpi_diff",
+    "make_cfet_node",
+    "make_ffet_node",
+    "pin_density_label",
+    "redistribute_input_pins",
+]

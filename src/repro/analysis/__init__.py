@@ -1,0 +1,25 @@
+"""Analysis helpers: statistics, reports, cost models."""
+
+from .cost import BACKSIDE_ENABLEMENT_COST, BeolCost, beol_cost, cost_efficiency
+from .report import (
+    ascii_heatmap,
+    congestion_map,
+    layout_summary,
+    placement_density_map,
+)
+from .stats import Ellipse, confidence_ellipse, pareto_front, relative_diff
+
+__all__ = [
+    "BACKSIDE_ENABLEMENT_COST",
+    "BeolCost",
+    "Ellipse",
+    "ascii_heatmap",
+    "beol_cost",
+    "confidence_ellipse",
+    "congestion_map",
+    "cost_efficiency",
+    "layout_summary",
+    "pareto_front",
+    "placement_density_map",
+    "relative_diff",
+]

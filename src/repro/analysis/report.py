@@ -1,0 +1,109 @@
+"""Text reports: layout summaries and ASCII heatmaps.
+
+Stand-ins for the paper's layout screenshots (Fig. 8b): render cell
+density, pin density and routing congestion as terminal heatmaps, and
+summarize a flow run's physical view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, max_width: int = 64,
+                  vmax: float | None = None) -> str:
+    """Render a 2-D array as an ASCII heatmap (row 0 at the bottom).
+
+    Values are normalized to ``vmax`` (default: the array maximum) and
+    quantized onto a 10-step shade ramp.  Wide arrays are downsampled
+    by column averaging to fit ``max_width``.
+    """
+    if values.ndim != 2:
+        raise ValueError("heatmap needs a 2-D array")
+    array = np.asarray(values, dtype=float)
+    if array.shape[1] > max_width:
+        factor = int(np.ceil(array.shape[1] / max_width))
+        pad = (-array.shape[1]) % factor
+        padded = np.pad(array, ((0, 0), (0, pad)), constant_values=np.nan)
+        array = np.nanmean(
+            padded.reshape(array.shape[0], -1, factor), axis=2
+        )
+    top = vmax if vmax is not None else float(np.nanmax(array))
+    if top <= 0:
+        top = 1.0
+    lines = []
+    for row in array[::-1]:
+        chars = []
+        for value in row:
+            if np.isnan(value):
+                chars.append(" ")
+                continue
+            level = int(min(value / top, 1.0) * (len(_SHADES) - 1))
+            chars.append(_SHADES[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def congestion_map(result) -> str:
+    """Heatmap of a routing result's edge usage/capacity ratio."""
+    grid = result.grid
+    ratio = np.zeros((grid.rows, grid.cols))
+    counts = np.zeros((grid.rows, grid.cols))
+    if result.usage_h is not None and grid.cap_h.size:
+        r = result.usage_h / np.maximum(grid.cap_h, 1e-9)
+        ratio[:, :-1] += r
+        ratio[:, 1:] += r
+        counts[:, :-1] += 1
+        counts[:, 1:] += 1
+    if result.usage_v is not None and grid.cap_v.size:
+        r = result.usage_v / np.maximum(grid.cap_v, 1e-9)
+        ratio[:-1, :] += r
+        ratio[1:, :] += r
+        counts[:-1, :] += 1
+        counts[1:, :] += 1
+    ratio = np.divide(ratio, np.maximum(counts, 1))
+    return ascii_heatmap(ratio, vmax=1.0)
+
+
+def placement_density_map(placement, netlist, library,
+                          bins: int = 32) -> str:
+    """Heatmap of placed-cell area density."""
+    die = placement.die
+    density = np.zeros((bins, bins))
+    for name, inst in netlist.instances.items():
+        p = placement.locations[name]
+        col = min(int(p.x_nm / die.width_nm * bins), bins - 1)
+        row = min(int(p.y_nm / die.height_nm * bins), bins - 1)
+        density[row, col] += library[inst.master].area_nm2(library.tech)
+    return ascii_heatmap(density)
+
+
+def layout_summary(artifacts) -> str:
+    """Fig. 8(b)-style textual layout comparison for one flow run."""
+    result = artifacts.result
+    die = artifacts.die
+    lines = [
+        f"design: {artifacts.netlist.name} [{result.label}]",
+        f"die: {die.width_nm / 1000:.2f} x {die.height_nm / 1000:.2f} um "
+        f"({die.rows} rows x {die.sites_per_row} sites, "
+        f"{result.core_area_um2:.1f} um2)",
+        f"cells: {result.cell_count} "
+        f"(area {result.cell_area_um2:.1f} um2, "
+        f"utilization {result.achieved_utilization:.1%})",
+        f"power taps / nTSVs: {result.tap_cell_count}; "
+        f"CTS buffers: {result.cts_buffers}",
+        f"wirelength: front {result.front_wirelength_um:.0f} um, "
+        f"back {result.back_wirelength_um:.0f} um",
+        f"DRVs: {result.drv_count} "
+        f"({'valid' if result.valid else 'INVALID'})",
+        f"timing: {result.achieved_frequency_ghz:.3f} GHz achieved "
+        f"(target {result.target_frequency_ghz:.2f}), "
+        f"skew {result.timing.clock_skew_ps:.1f} ps",
+        f"power: {result.power.total_mw:.2f} mW "
+        f"(switching {result.power.switching_mw:.2f}, "
+        f"internal {result.power.internal_mw:.2f}, "
+        f"leakage {result.power.leakage_mw:.3f})",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Statistics helpers: confidence ellipses and relative-diff tables.
+
+Fig. 11 of the paper summarizes each DoE's power-frequency cloud with a
+50 %-confidence ellipse; :func:`confidence_ellipse` computes the same
+construct from sample points (chi-square scaling of the sample
+covariance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class Ellipse:
+    """A confidence ellipse in the (x, y) plane."""
+
+    center_x: float
+    center_y: float
+    semi_major: float
+    semi_minor: float
+    angle_rad: float
+    confidence: float
+
+    @property
+    def area(self) -> float:
+        return math.pi * self.semi_major * self.semi_minor
+
+    def contains(self, x: float, y: float) -> bool:
+        dx, dy = x - self.center_x, y - self.center_y
+        cos_a, sin_a = math.cos(-self.angle_rad), math.sin(-self.angle_rad)
+        u = dx * cos_a - dy * sin_a
+        v = dx * sin_a + dy * cos_a
+        if self.semi_major == 0 or self.semi_minor == 0:
+            return u == 0 and v == 0
+        return (u / self.semi_major) ** 2 + (v / self.semi_minor) ** 2 <= 1.0
+
+
+def confidence_ellipse(xs, ys, confidence: float = 0.50) -> Ellipse:
+    """Fit a chi-square-scaled covariance ellipse to 2-D samples.
+
+    The paper uses 50 % confidence for Fig. 11.  Needs at least three
+    points; degenerate (collinear) clouds yield a zero-width ellipse.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.size < 3:
+        raise ValueError("need at least 3 paired samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    cov = np.cov(np.vstack([xs, ys]))
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    eigvals = np.maximum(eigvals, 0.0)
+    # eigh returns ascending order; the major axis is the last column.
+    k = stats.chi2.ppf(confidence, df=2)
+    major = math.sqrt(k * eigvals[1])
+    minor = math.sqrt(k * eigvals[0])
+    angle = math.atan2(eigvecs[1, 1], eigvecs[0, 1])
+    return Ellipse(
+        center_x=float(xs.mean()),
+        center_y=float(ys.mean()),
+        semi_major=major,
+        semi_minor=minor,
+        angle_rad=angle,
+        confidence=confidence,
+    )
+
+
+def relative_diff(value: float, baseline: float) -> float:
+    """(value - baseline) / baseline, safe at zero."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline
+
+
+def pareto_front(points: list[tuple[float, float]],
+                 maximize_x: bool = True,
+                 minimize_y: bool = True) -> list[tuple[float, float]]:
+    """Non-dominated subset, default: maximize frequency, minimize power."""
+    front = []
+    for p in points:
+        dominated = False
+        for q in points:
+            if q == p:
+                continue
+            better_x = q[0] >= p[0] if maximize_x else q[0] <= p[0]
+            better_y = q[1] <= p[1] if minimize_y else q[1] >= p[1]
+            strictly = (q[0] != p[0]) or (q[1] != p[1])
+            if better_x and better_y and strictly:
+                dominated = True
+                break
+        if not dominated:
+            front.append(p)
+    return sorted(front)

@@ -1,0 +1,73 @@
+"""Standard cells: pins, masters, timing models, libraries, generators."""
+
+from .cell import CellMaster
+from .characterize import VDD_V, ArchParasitics, Characterizer
+from .compare import (
+    TABLE_I_CELLS,
+    TABLE_I_KPIS,
+    CellKpis,
+    cell_kpis,
+    format_kpi_table,
+    library_kpi_diff,
+)
+from .generator import build_library, cell_area_table
+from .liberty import parse_liberty, write_liberty
+from .library import Library
+from .pins import Pin, PinDirection, dual_pin, front_pin
+from .redistribution import (
+    parse_pin_density_label,
+    pin_density_label,
+    redistribute_input_pins,
+    single_sided_output_library,
+    widen_input_pins,
+)
+from .validate import LibraryQaReport, validate_library
+from .templates import CellTemplate, InputSpec, SeqSpec, StageSpec, standard_templates
+from .timing import (
+    DEFAULT_LOADS_FF,
+    DEFAULT_SLEWS_PS,
+    LookupTable,
+    PowerModel,
+    SequentialTiming,
+    TimingArc,
+)
+
+__all__ = [
+    "ArchParasitics",
+    "CellKpis",
+    "CellMaster",
+    "CellTemplate",
+    "Characterizer",
+    "DEFAULT_LOADS_FF",
+    "DEFAULT_SLEWS_PS",
+    "InputSpec",
+    "Library",
+    "LookupTable",
+    "Pin",
+    "PinDirection",
+    "PowerModel",
+    "SeqSpec",
+    "SequentialTiming",
+    "StageSpec",
+    "TABLE_I_CELLS",
+    "TABLE_I_KPIS",
+    "TimingArc",
+    "VDD_V",
+    "build_library",
+    "cell_area_table",
+    "cell_kpis",
+    "dual_pin",
+    "format_kpi_table",
+    "front_pin",
+    "library_kpi_diff",
+    "parse_liberty",
+    "parse_pin_density_label",
+    "pin_density_label",
+    "redistribute_input_pins",
+    "single_sided_output_library",
+    "standard_templates",
+    "widen_input_pins",
+    "LibraryQaReport",
+    "validate_library",
+    "write_liberty",
+]

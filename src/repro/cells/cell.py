@@ -1,0 +1,142 @@
+"""Cell masters: the library view of one standard cell."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+from ..tech import Side, TechNode
+from .pins import Pin, PinDirection
+from .timing import PowerModel, SequentialTiming, TimingArc
+
+
+@dataclass
+class CellMaster:
+    """One standard cell in a library.
+
+    A master owns geometry (width in CPP, height in tracks), pins,
+    characterized timing arcs and power data.  Input-pin redistribution
+    produces *variants* of a master that share everything except the pin
+    sides (the paper's Section IV assumption: "the characteristics of
+    the same cell remain the same across different input pin
+    configurations").
+    """
+
+    name: str
+    function: str                     # e.g. "INV", "NAND2", "DFF"
+    drive: float                      # relative drive strength (1, 2, 4, ...)
+    width_cpp: float
+    height_tracks: float
+    pins: dict[str, Pin]
+    arcs: list[TimingArc] = field(default_factory=list)
+    power: PowerModel | None = None
+    sequential: SequentialTiming | None = None
+    n_transistors: int = 0
+    #: Optional boolean function for functional verification in tests:
+    #: maps {input pin name: bool} -> bool for the (single) output.
+    logic_fn: Callable[[Mapping[str, bool]], bool] | None = None
+    #: Name of the master this cell is a pin-variant of (None for bases).
+    base_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.width_cpp <= 0:
+            raise ValueError(f"{self.name}: width must be positive")
+        for pin_name, pin in self.pins.items():
+            if pin_name != pin.name:
+                raise ValueError(f"{self.name}: pin dict key {pin_name!r} != {pin.name!r}")
+
+    # -- pin queries ---------------------------------------------------------
+    @property
+    def input_pins(self) -> list[Pin]:
+        return [p for p in self.pins.values() if p.is_input and not p.is_clock]
+
+    @property
+    def clock_pins(self) -> list[Pin]:
+        return [p for p in self.pins.values() if p.is_clock]
+
+    @property
+    def output_pins(self) -> list[Pin]:
+        return [p for p in self.pins.values() if p.is_output]
+
+    @property
+    def output(self) -> Pin:
+        outs = self.output_pins
+        if len(outs) != 1:
+            raise ValueError(f"{self.name}: expected one output, has {len(outs)}")
+        return outs[0]
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.sequential is not None
+
+    def pin(self, name: str) -> Pin:
+        try:
+            return self.pins[name]
+        except KeyError:
+            raise KeyError(f"cell {self.name} has no pin {name!r}") from None
+
+    def input_cap_ff(self, pin_name: str) -> float:
+        return self.pin(pin_name).cap_ff
+
+    # -- geometry --------------------------------------------------------------
+    def area_nm2(self, tech: TechNode) -> float:
+        return self.width_cpp * tech.cpp_nm * self.height_tracks * tech.track_pitch_nm
+
+    def width_nm(self, tech: TechNode) -> float:
+        return self.width_cpp * tech.cpp_nm
+
+    def pin_count_on(self, side: Side) -> int:
+        """Physical pin shapes on one side (dual-sided pins count on both)."""
+        return sum(1 for p in self.pins.values() if p.on_side(side))
+
+    def pin_density(self, side: Side) -> float:
+        """Pin shapes per CPP of cell width on one wafer side."""
+        return self.pin_count_on(side) / self.width_cpp
+
+    # -- timing ----------------------------------------------------------------
+    def arcs_to(self, output_pin: str) -> list[TimingArc]:
+        return [a for a in self.arcs if a.to_pin == output_pin]
+
+    def arc(self, from_pin: str, to_pin: str) -> TimingArc:
+        for a in self.arcs:
+            if a.from_pin == from_pin and a.to_pin == to_pin:
+                return a
+        raise KeyError(f"{self.name}: no arc {from_pin} -> {to_pin}")
+
+    # -- variants ----------------------------------------------------------------
+    def with_input_sides(self, sides: Mapping[str, Side], suffix: str) -> "CellMaster":
+        """A pin variant with each listed input pin moved to a given side.
+
+        Timing, power and geometry are shared with the base master (the
+        M0-only structural change barely affects intra-cell parasitics,
+        per Section IV of the paper).
+        """
+        new_pins = dict(self.pins)
+        for pin_name, side in sides.items():
+            pin = self.pin(pin_name)
+            if not pin.is_input:
+                raise ValueError(f"{self.name}: {pin_name} is not an input pin")
+            new_pins[pin_name] = pin.moved_to(side)
+        return replace(
+            self,
+            name=f"{self.name}{suffix}",
+            pins=new_pins,
+            base_name=self.base_name or self.name,
+        )
+
+    def with_dual_sided_inputs(self) -> "CellMaster":
+        """Variant with every input pin present on both sides (Gate Merge).
+
+        This is the *dual-sided input pin* alternative the paper rejects
+        for its pin-density explosion; kept for the ablation study.
+        """
+        new_pins = {
+            name: (pin.widened() if pin.is_input else pin)
+            for name, pin in self.pins.items()
+        }
+        return replace(
+            self,
+            name=f"{self.name}_DSIN",
+            pins=new_pins,
+            base_name=self.base_name or self.name,
+        )

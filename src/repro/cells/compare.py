@@ -1,0 +1,95 @@
+"""Library-level KPI comparison between two characterized libraries.
+
+Produces the data behind the paper's Table I: per-cell relative
+differences of transition power, leakage power, rise/fall timing and
+rise/fall transition, FFET w.r.t. CFET, averaged over the NLDM grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .library import Library
+
+#: KPI names in Table I order.
+TABLE_I_KPIS = (
+    "transition_power",
+    "leakage_power",
+    "rise_timing",
+    "fall_timing",
+    "rise_transition",
+    "fall_transition",
+)
+
+#: Cells reported in Table I.
+TABLE_I_CELLS = ("INVD1", "INVD2", "INVD4", "BUFD1", "BUFD2", "BUFD4")
+
+
+@dataclass(frozen=True)
+class CellKpis:
+    """Grid-averaged KPIs of one cell."""
+
+    transition_power: float   # fJ per rise+fall pair
+    leakage_power: float      # nW
+    rise_timing: float        # ps
+    fall_timing: float        # ps
+    rise_transition: float    # ps
+    fall_transition: float    # ps
+
+    def diff_vs(self, other: "CellKpis") -> dict[str, float]:
+        """Relative difference of each KPI w.r.t. ``other`` (the baseline)."""
+        out = {}
+        for kpi in TABLE_I_KPIS:
+            mine = getattr(self, kpi)
+            base = getattr(other, kpi)
+            out[kpi] = (mine - base) / base if base else 0.0
+        return out
+
+
+def cell_kpis(library: Library, cell_name: str) -> CellKpis:
+    """Grid-averaged KPIs for one cell of a library."""
+    master = library[cell_name]
+    if master.power is None or not master.arcs:
+        raise ValueError(f"{cell_name} is not characterized")
+    arc = master.arcs[0]
+    rise_e = master.power.rise_energy.mean()
+    fall_e = master.power.fall_energy.mean()
+    return CellKpis(
+        transition_power=rise_e + fall_e,
+        leakage_power=master.power.leakage_nw,
+        rise_timing=arc.rise_delay.mean(),
+        fall_timing=arc.fall_delay.mean(),
+        rise_transition=arc.rise_transition.mean(),
+        fall_transition=arc.fall_transition.mean(),
+    )
+
+
+def library_kpi_diff(
+    library: Library,
+    baseline: Library,
+    cells: tuple[str, ...] = TABLE_I_CELLS,
+) -> dict[str, dict[str, float]]:
+    """Table I: KPI diffs of ``library`` w.r.t. ``baseline`` per cell.
+
+    Returns ``{cell: {kpi: relative_diff}}``.
+    """
+    table: dict[str, dict[str, float]] = {}
+    for cell_name in cells:
+        mine = cell_kpis(library, cell_name)
+        base = cell_kpis(baseline, cell_name)
+        table[cell_name] = mine.diff_vs(base)
+    return table
+
+
+def format_kpi_table(table: dict[str, dict[str, float]]) -> str:
+    """Render a Table-I-style text table (percentages)."""
+    cells = list(table)
+    lines = ["KPI Diff of FFET Libraries w.r.t CFET"]
+    header = f"{'KPI':<18}" + "".join(f"{c:>9}" for c in cells)
+    lines.append(header)
+    for kpi in TABLE_I_KPIS:
+        row = f"{kpi:<18}"
+        for cell_name in cells:
+            row += f"{table[cell_name][kpi] * 100:>+8.1f}%"
+        lines.append(row)
+    return "\n".join(lines)

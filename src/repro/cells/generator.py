@@ -1,0 +1,50 @@
+"""Library generation: characterize every template for a tech node."""
+
+from __future__ import annotations
+
+from ..tech import TechNode
+from .characterize import Characterizer
+from .library import Library
+from .templates import CellTemplate, standard_templates
+
+
+def build_library(tech: TechNode,
+                  templates: list[CellTemplate] | None = None) -> Library:
+    """Characterize the full standard-cell library for ``tech``.
+
+    FFET libraries come out with dual-sided output pins and all input
+    pins on the frontside; apply
+    :func:`repro.cells.redistribution.redistribute_input_pins` to move a
+    fraction of the inputs to the backside (the ``FP_x BP_y`` DoEs).
+    """
+    characterizer = Characterizer(tech)
+    library = Library(tech=tech)
+    for template in templates or standard_templates():
+        library.add(characterizer.characterize(template))
+    return library
+
+
+def cell_area_table(ffet_lib: Library, cfet_lib: Library) -> list[dict]:
+    """Per-cell area comparison — the data behind Fig. 4.
+
+    Returns one row per cell present in both libraries with absolute
+    areas (nm^2) and the FFET-vs-CFET relative difference.
+    """
+    rows = []
+    for name, ffet_cell in ffet_lib.masters.items():
+        if ffet_cell.base_name is not None or name not in cfet_lib:
+            continue
+        cfet_cell = cfet_lib[name]
+        a_ffet = ffet_cell.area_nm2(ffet_lib.tech)
+        a_cfet = cfet_cell.area_nm2(cfet_lib.tech)
+        rows.append(
+            {
+                "cell": name,
+                "function": ffet_cell.function,
+                "ffet_area_nm2": a_ffet,
+                "cfet_area_nm2": a_cfet,
+                "area_diff": a_ffet / a_cfet - 1.0,
+            }
+        )
+    rows.sort(key=lambda r: r["cell"])
+    return rows

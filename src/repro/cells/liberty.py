@@ -1,0 +1,247 @@
+"""Liberty (.lib) writer and parser for characterized libraries.
+
+The paper's flow consumes characterized libraries in Liberty format
+(Table I comes from such a characterization).  This module serializes
+a :class:`~repro.cells.library.Library` to the NLDM subset of Liberty —
+``cell``/``pin``/``timing`` groups with ``cell_rise``/``rise_transition``
+tables, ``internal_power``, ``leakage_power`` and flip-flop ``ff``
+groups — and parses that subset back, enabling library interchange and
+golden-file testing.
+
+Units: time in ps, capacitance in fF, power (energy) in fJ — declared
+in the library header.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from ..tech import Side
+from .cell import CellMaster
+from .library import Library
+from .pins import Pin, PinDirection
+from .timing import LookupTable, PowerModel, SequentialTiming, TimingArc
+
+_UNATE = {"+": "positive_unate", "-": "negative_unate", "x": "non_unate"}
+_UNATE_BACK = {v: k for k, v in _UNATE.items()}
+
+
+def _format_table(name: str, table: LookupTable, indent: str) -> str:
+    lines = [f'{indent}{name} (nldm_template) {{']
+    lines.append(
+        f'{indent}  index_1 ("'
+        + ", ".join(f"{v:g}" for v in table.slews_ps) + '");'
+    )
+    lines.append(
+        f'{indent}  index_2 ("'
+        + ", ".join(f"{v:g}" for v in table.loads_ff) + '");'
+    )
+    lines.append(f"{indent}  values ( \\")
+    for i, row in enumerate(table.values):
+        sep = ", \\" if i < len(table.values) - 1 else " \\"
+        lines.append(
+            f'{indent}    "' + ", ".join(f"{v:.5f}" for v in row) + f'"{sep}'
+        )
+    lines.append(f"{indent}  );")
+    lines.append(f"{indent}}}")
+    return "\n".join(lines)
+
+
+def write_liberty(library: Library, name: str | None = None) -> str:
+    """Serialize the library as Liberty text."""
+    lib_name = name or library.tech.name.replace(" ", "_").replace(".", "p")
+    out = [
+        f"library ({lib_name}) {{",
+        '  delay_model : "table_lookup";',
+        '  time_unit : "1ps";',
+        '  capacitive_load_unit (1, ff);',
+        '  leakage_power_unit : "1nW";',
+        "",
+        "  lu_table_template (nldm_template) {",
+        "    variable_1 : input_net_transition;",
+        "    variable_2 : total_output_net_capacitance;",
+        "  }",
+        "",
+    ]
+    for master in sorted(library.masters.values(), key=lambda m: m.name):
+        out.append(_format_cell(library, master))
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def _format_cell(library: Library, master: CellMaster) -> str:
+    tech = library.tech
+    lines = [f"  cell ({master.name}) {{"]
+    area_um2 = master.area_nm2(tech) / 1e6
+    lines.append(f"    area : {area_um2:.6f};")
+    if master.power is not None:
+        lines.append(f"    cell_leakage_power : {master.power.leakage_nw:.4f};")
+    if master.is_sequential:
+        seq = master.sequential
+        lines.append('    ff (IQ, IQN) {')
+        lines.append('      clocked_on : "CK";')
+        lines.append('      next_state : "D";')
+        lines.append("    }")
+
+    for pin in sorted(master.pins.values(), key=lambda p: p.name):
+        lines.append(f"    pin ({pin.name}) {{")
+        direction = "output" if pin.is_output else "input"
+        lines.append(f"      direction : {direction};")
+        if pin.is_clock:
+            lines.append("      clock : true;")
+        if pin.is_input:
+            lines.append(f"      capacitance : {pin.cap_ff:.5f};")
+        sides = "+".join(sorted(s.value for s in pin.sides))
+        lines.append(f'      wafer_side : "{sides}";')  # FFET extension
+        if pin.is_output:
+            for arc in master.arcs_to(pin.name):
+                lines.append("      timing () {")
+                lines.append(f'        related_pin : "{arc.from_pin}";')
+                lines.append(f"        timing_sense : {_UNATE[arc.unate]};")
+                for label, table in (
+                    ("cell_rise", arc.rise_delay),
+                    ("cell_fall", arc.fall_delay),
+                    ("rise_transition", arc.rise_transition),
+                    ("fall_transition", arc.fall_transition),
+                ):
+                    lines.append(_format_table(label, table, "        "))
+                lines.append("      }")
+            if master.power is not None:
+                lines.append("      internal_power () {")
+                lines.append(_format_table("rise_power",
+                                           master.power.rise_energy,
+                                           "        "))
+                lines.append(_format_table("fall_power",
+                                           master.power.fall_energy,
+                                           "        "))
+                lines.append("      }")
+        if pin.is_input and master.is_sequential and pin.name == "D":
+            seq = master.sequential
+            lines.append("      timing () {")
+            lines.append('        related_pin : "CK";')
+            lines.append("        timing_type : setup_rising;")
+            lines.append(f"        setup : {seq.setup_ps:.4f};")
+            lines.append(f"        hold : {seq.hold_ps:.4f};")
+            lines.append("      }")
+        lines.append("    }")
+    lines.append("  }")
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Parser (for the subset written above).
+# ---------------------------------------------------------------------------
+_NUMS = re.compile(r"-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?")
+
+
+def _find_groups(text: str, keyword: str):
+    """Yield (argument, body) for each `keyword (arg) { body }` group."""
+    pattern = re.compile(rf"{keyword}\s*\(([^)]*)\)\s*\{{")
+    pos = 0
+    while True:
+        match = pattern.search(text, pos)
+        if match is None:
+            return
+        depth = 1
+        i = match.end()
+        while depth and i < len(text):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        yield match.group(1).strip(), text[match.end():i - 1]
+        pos = i
+
+
+def _attribute(body: str, name: str) -> str | None:
+    match = re.search(rf"{name}\s*:\s*([^;]+);", body)
+    return match.group(1).strip().strip('"') if match else None
+
+
+def _parse_table(body: str, name: str) -> LookupTable | None:
+    for arg, group in _find_groups(body, name):
+        idx1 = _NUMS.findall(re.search(r"index_1\s*\(([^)]*)\)", group).group(1))
+        idx2 = _NUMS.findall(re.search(r"index_2\s*\(([^)]*)\)", group).group(1))
+        values_text = re.search(r"values\s*\((.*?)\);", group, re.DOTALL).group(1)
+        values = [float(v) for v in _NUMS.findall(values_text)]
+        slews = [float(v) for v in idx1]
+        loads = [float(v) for v in idx2]
+        array = np.array(values).reshape(len(slews), len(loads))
+        return LookupTable(np.array(slews), np.array(loads), array)
+    return None
+
+
+def parse_liberty(text: str, library: Library) -> Library:
+    """Parse Liberty text written by :func:`write_liberty`.
+
+    Geometry that Liberty does not carry (width in CPP, transistor
+    count, logic functions) is recovered from the template ``library``,
+    which must contain the same cell names.
+    """
+    from dataclasses import replace
+
+    parsed = Library(tech=library.tech)
+    for cell_name, cell_body in _find_groups(text, "cell"):
+        template = library[cell_name]
+        leakage = float(_attribute(cell_body, "cell_leakage_power") or 0.0)
+
+        pins: dict[str, Pin] = {}
+        arcs: list[TimingArc] = []
+        rise_energy = fall_energy = None
+        setup = hold = None
+        for pin_name, pin_body in _find_groups(cell_body, "pin"):
+            direction = _attribute(pin_body, "direction")
+            is_clock = _attribute(pin_body, "clock") == "true"
+            cap = float(_attribute(pin_body, "capacitance") or 0.0)
+            sides_attr = _attribute(pin_body, "wafer_side") or "front"
+            sides = frozenset(
+                Side.FRONT if s == "front" else Side.BACK
+                for s in sides_attr.split("+")
+            )
+            if direction == "output":
+                pin_dir = PinDirection.OUTPUT
+            elif is_clock:
+                pin_dir = PinDirection.CLOCK
+            else:
+                pin_dir = PinDirection.INPUT
+            pins[pin_name] = Pin(pin_name, pin_dir, sides, cap_ff=cap,
+                                 track=template.pin(pin_name).track)
+
+            for _arg, timing_body in _find_groups(pin_body, "timing"):
+                related = _attribute(timing_body, "related_pin")
+                if _attribute(timing_body, "timing_type") == "setup_rising":
+                    setup = float(_attribute(timing_body, "setup"))
+                    hold = float(_attribute(timing_body, "hold"))
+                    continue
+                sense = _attribute(timing_body, "timing_sense")
+                arcs.append(TimingArc(
+                    from_pin=related,
+                    to_pin=pin_name,
+                    rise_delay=_parse_table(timing_body, "cell_rise"),
+                    fall_delay=_parse_table(timing_body, "cell_fall"),
+                    rise_transition=_parse_table(timing_body,
+                                                 "rise_transition"),
+                    fall_transition=_parse_table(timing_body,
+                                                 "fall_transition"),
+                    unate=_UNATE_BACK.get(sense, "x"),
+                ))
+            for _arg, power_body in _find_groups(pin_body, "internal_power"):
+                rise_energy = _parse_table(power_body, "rise_power")
+                fall_energy = _parse_table(power_body, "fall_power")
+
+        power = None
+        if rise_energy is not None and fall_energy is not None:
+            power = PowerModel(rise_energy, fall_energy, leakage)
+        sequential = None
+        if setup is not None:
+            sequential = SequentialTiming(setup_ps=setup, hold_ps=hold or 0.0)
+
+        parsed.add(replace(
+            template, pins=pins, arcs=arcs, power=power,
+            sequential=sequential,
+        ))
+    return parsed

@@ -1,0 +1,134 @@
+"""Input-pin redistribution: the paper's ``FP_x BP_y`` library knob.
+
+Section III.A: every input pin of every FFET cell "could be freely
+adjusted to the frontside or backside thanks to the enough resource of
+M0 signal tracks in 3.5T FFET".  A DoE like ``FP0.7 BP0.3`` means 70 %
+of the library's input pins sit on the frontside and 30 % on the
+backside.  The assignment is done here deterministically (seeded
+shuffle + error diffusion) so a given ``(fraction, seed)`` always
+yields the same modified library — the stand-in for the paper's
+hand-modified LEF files.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from ..tech import Side
+from .library import Library
+
+
+def pin_density_label(backside_fraction: float) -> str:
+    """Format the paper's DoE label, e.g. 0.3 -> ``FP0.7BP0.3``."""
+    front = 1.0 - backside_fraction
+    return f"FP{front:g}BP{backside_fraction:g}"
+
+
+def parse_pin_density_label(label: str) -> float:
+    """Inverse of :func:`pin_density_label`; returns backside fraction."""
+    if not label.startswith("FP") or "BP" not in label:
+        raise ValueError(f"bad pin-density label {label!r}")
+    front_str, back_str = label[2:].split("BP")
+    front, back = float(front_str), float(back_str)
+    if abs(front + back - 1.0) > 1e-6:
+        raise ValueError(f"label {label!r}: fractions must sum to 1")
+    return back
+
+
+def redistribute_input_pins(library: Library, backside_fraction: float,
+                            seed: int = 0) -> Library:
+    """A new library with ``backside_fraction`` of input pins on the back.
+
+    Only legal for technologies with dual-sided pins (FFET).  Clock pins
+    participate like any other input, matching the paper's library-wide
+    density definition.  Geometry, timing and power are shared with the
+    original masters (Section IV assumption).
+    """
+    if not library.tech.dual_sided_pins:
+        raise ValueError(
+            f"{library.tech.name} has no backside pins; redistribution "
+            "applies to FFET libraries only"
+        )
+    if not 0.0 <= backside_fraction <= 1.0:
+        raise ValueError("backside_fraction must lie in [0, 1]")
+
+    # Stable global ordering of all (cell, pin) input pins, then a seeded
+    # shuffle so the backside pins are spread across functions.
+    slots = []
+    for master in sorted(library.masters.values(), key=lambda m: m.name):
+        if master.base_name is not None:
+            continue
+        for pin in sorted(master.input_pins + master.clock_pins,
+                          key=lambda p: p.name):
+            slots.append((master.name, pin.name))
+    rng = random.Random(seed)
+    rng.shuffle(slots)
+
+    assignment: dict[tuple[str, str], Side] = {}
+    assigned_back = 0
+    for i, slot in enumerate(slots):
+        # Error diffusion: go backside whenever we are behind the target.
+        if assigned_back < backside_fraction * (i + 1) - 1e-9:
+            assignment[slot] = Side.BACK
+            assigned_back += 1
+        else:
+            assignment[slot] = Side.FRONT
+
+    new_lib = Library(tech=library.tech)
+    for name, master in library.masters.items():
+        moves = {
+            pin.name: assignment[(name, pin.name)]
+            for pin in master.input_pins + master.clock_pins
+            if (name, pin.name) in assignment
+        }
+        if moves:
+            new_pins = dict(master.pins)
+            for pin_name, side in moves.items():
+                new_pins[pin_name] = master.pins[pin_name].moved_to(side)
+            new_lib.add(replace(master, pins=new_pins))
+        else:
+            new_lib.add(master)
+    return new_lib
+
+
+def single_sided_output_library(library: Library) -> Library:
+    """An FFET library variant *without* dual-sided output pins.
+
+    Ablation: removes the Drain Merge's dual-sided reach from every
+    output, so backside sinks can only be served through bridging
+    cells.  A dedicated ``BRIDGE`` cell (a buffer whose output remains
+    dual-sided, i.e. a via-through cell) is added for that purpose.
+    """
+    if not library.tech.dual_sided_pins:
+        raise ValueError("ablation applies to FFET libraries only")
+    new_lib = Library(tech=library.tech)
+    for master in library.masters.values():
+        new_pins = {
+            name: (pin.moved_to(Side.FRONT) if pin.is_output else pin)
+            for name, pin in master.pins.items()
+        }
+        new_lib.add(replace(master, pins=new_pins))
+    buf = library["BUFD2"]
+    new_lib.add(replace(buf, name="BRIDGE", base_name="BUFD2"))
+    return new_lib
+
+
+def widen_input_pins(library: Library) -> Library:
+    """Make every input pin dual-sided (Gate Merge) — ablation only.
+
+    This is the *dual-sided input pin* alternative the paper rejects:
+    it doubles the pin shapes per cell, which the routability model
+    punishes, demonstrating why the dual-sided *output* pin is "the only
+    reasonable solution" (Section III.A).
+    """
+    if not library.tech.dual_sided_pins:
+        raise ValueError("dual-sided input pins require an FFET library")
+    new_lib = Library(tech=library.tech)
+    for master in library.masters.values():
+        new_pins = {
+            name: (pin.widened() if pin.is_input else pin)
+            for name, pin in master.pins.items()
+        }
+        new_lib.add(replace(master, pins=new_pins))
+    return new_lib

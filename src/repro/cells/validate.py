@@ -1,0 +1,77 @@
+"""Library QA: the checks a library release flow runs before sign-off."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tech import Side
+from .library import Library
+
+
+@dataclass
+class LibraryQaReport:
+    """Findings of one library validation run."""
+
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    def add(self, cell: str, message: str) -> None:
+        self.issues.append(f"{cell}: {message}")
+
+
+def validate_library(library: Library) -> LibraryQaReport:
+    """Check structural and electrical sanity of every cell."""
+    report = LibraryQaReport()
+    tech = library.tech
+    for master in library:
+        if master.width_cpp <= 0:
+            report.add(master.name, "non-positive width")
+        if master.height_tracks != tech.cell_height_tracks:
+            report.add(master.name, "height differs from the tech node")
+
+        outs = master.output_pins
+        if master.function not in ("TIEHI", "TIELO") and not outs:
+            report.add(master.name, "no output pin")
+        for pin in master.pins.values():
+            if pin.is_input and pin.cap_ff <= 0:
+                report.add(master.name, f"input {pin.name} has no cap")
+            if not tech.dual_sided_pins and pin.on_side(Side.BACK):
+                report.add(master.name,
+                           f"pin {pin.name} on the backside of a "
+                           "single-sided technology")
+
+        if master.is_sequential:
+            if not master.clock_pins:
+                report.add(master.name, "sequential cell without a clock pin")
+            if master.sequential.setup_ps <= 0:
+                report.add(master.name, "non-positive setup time")
+        expected_arcs = 0 if master.function in ("TIEHI", "TIELO") else 1
+        if len(master.arcs) < expected_arcs:
+            report.add(master.name, "missing timing arcs")
+
+        for arc in master.arcs:
+            if arc.from_pin not in master.pins:
+                report.add(master.name, f"arc from unknown pin {arc.from_pin}")
+            for label, table in (("rise_delay", arc.rise_delay),
+                                 ("fall_delay", arc.fall_delay)):
+                values = table.values
+                if np.any(values <= 0):
+                    report.add(master.name, f"{label} has non-positive values")
+                # Monotone in load at fixed slew.
+                if np.any(np.diff(values, axis=1) < -1e-9):
+                    report.add(master.name,
+                               f"{label} not monotone in load")
+            if arc.unate not in ("+", "-", "x"):
+                report.add(master.name, f"bad unateness {arc.unate!r}")
+
+        if master.power is not None:
+            if master.power.leakage_nw < 0:
+                report.add(master.name, "negative leakage")
+            if np.any(master.power.rise_energy.values < 0):
+                report.add(master.name, "negative rise energy")
+    return report

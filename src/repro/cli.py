@@ -1,0 +1,243 @@
+"""Command-line interface for the FFET evaluation framework.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro characterize --arch ffet --liberty ffet.lib
+    python -m repro run --arch ffet --utilization 0.76 --backside 0.5
+    python -m repro sweep utilization --arch cfet --points 0.5 0.6 0.7
+    python -m repro sweep frequency --targets 0.5 1.5 3.0
+    python -m repro doe pin-density --fractions 0.04 0.3 0.5
+    python -m repro compare
+
+Every experiment subcommand accepts ``--xlen/--nregs`` to size the
+RISC-V benchmark core and ``--json``/``--csv`` to save results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import build_library, make_cfet_node, make_ffet_node
+from .cells import format_kpi_table, library_kpi_diff, write_liberty
+from .core import FlowConfig, PPAResult
+from .core.doe import cooptimization_table, pin_density_doe
+from .core.io import results_to_csv, results_to_json
+from .core.sweeps import frequency_sweep, try_run, utilization_sweep
+from .synth import RiscvConfig, generate_riscv_core
+
+
+def _add_core_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--xlen", type=int, default=16,
+                        help="RISC-V datapath width (paper scale: 32)")
+    parser.add_argument("--nregs", type=int, default=16,
+                        help="register count (paper scale: 32)")
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arch", choices=("ffet", "cfet"), default="ffet")
+    parser.add_argument("--front-layers", type=int, default=12)
+    parser.add_argument("--back-layers", type=int, default=None,
+                        help="default: 12 for ffet, 0 for cfet")
+    parser.add_argument("--backside", type=float, default=0.5,
+                        help="backside input-pin fraction (ffet only)")
+    parser.add_argument("--utilization", type=float, default=0.70)
+    parser.add_argument("--frequency", type=float, default=1.5,
+                        help="synthesis target, GHz")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_output_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", metavar="FILE", help="write results JSON")
+    parser.add_argument("--csv", metavar="FILE", help="write results CSV")
+
+
+def _config_from(args) -> FlowConfig:
+    back = args.back_layers
+    if back is None:
+        back = 12 if args.arch == "ffet" else 0
+    backside = args.backside if (args.arch == "ffet" and back) else 0.0
+    return FlowConfig(
+        arch=args.arch,
+        front_layers=args.front_layers,
+        back_layers=back,
+        backside_pin_fraction=backside,
+        utilization=args.utilization,
+        target_frequency_ghz=args.frequency,
+        seed=args.seed,
+    )
+
+
+def _factory_from(args):
+    core = RiscvConfig(xlen=args.xlen, nregs=args.nregs,
+                       name=f"rv{args.xlen}")
+
+    def factory():
+        return generate_riscv_core(core)
+
+    return factory
+
+
+def _emit(args, runs) -> None:
+    if getattr(args, "json", None):
+        with open(args.json, "w") as handle:
+            handle.write(results_to_json(runs))
+        print(f"wrote {args.json}")
+    if getattr(args, "csv", None):
+        with open(args.csv, "w") as handle:
+            handle.write(results_to_csv(runs))
+        print(f"wrote {args.csv}")
+
+
+def cmd_characterize(args) -> int:
+    ffet = build_library(make_ffet_node())
+    cfet = build_library(make_cfet_node())
+    print(format_kpi_table(library_kpi_diff(ffet, cfet)))
+    if args.liberty:
+        library = ffet if args.arch == "ffet" else cfet
+        with open(args.liberty, "w") as handle:
+            handle.write(write_liberty(library))
+        print(f"wrote {args.liberty}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    run = try_run(_factory_from(args), _config_from(args))
+    if isinstance(run, PPAResult):
+        print(run.summary())
+    else:
+        print(f"FAILED: {run.reason}")
+    _emit(args, [run])
+    return 0 if run.valid else 1
+
+
+def cmd_sweep(args) -> int:
+    factory = _factory_from(args)
+    config = _config_from(args)
+    if args.axis == "utilization":
+        points = args.points or [0.5, 0.6, 0.7, 0.76, 0.8, 0.86]
+        runs = utilization_sweep(factory, config, points)
+    else:
+        targets = args.targets or [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+        runs = frequency_sweep(factory, config, targets)
+    for run in runs:
+        print(run.summary() if isinstance(run, PPAResult)
+              else f"FAILED ({run.target_utilization}): {run.reason}")
+    _emit(args, runs)
+    return 0
+
+
+def cmd_doe(args) -> int:
+    factory = _factory_from(args)
+    base = FlowConfig(arch="ffet", backside_pin_fraction=0.5,
+                      target_frequency_ghz=args.frequency, seed=args.seed)
+    if args.kind == "pin-density":
+        clouds = pin_density_doe(factory, base, fractions=args.fractions,
+                                 utilizations=args.points or
+                                 (0.52, 0.64, 0.76))
+        for cloud in sorted(clouds, key=lambda c: -c.merit):
+            print(f"{cloud.label}: mean f={cloud.mean_frequency_ghz:.3f} GHz"
+                  f" mean P={cloud.mean_power_mw:.3f} mW"
+                  f" merit={cloud.merit:.3f}")
+        _emit(args, [r for c in clouds for r in c.results])
+    else:
+        rows = cooptimization_table(factory, base,
+                                    fractions=args.fractions,
+                                    utilization=args.utilization)
+        for row in rows:
+            print(f"FP{1 - row.backside_fraction:g}"
+                  f"BP{row.backside_fraction:g} {row.pattern}: "
+                  f"freq {row.frequency_diff:+.1%} "
+                  f"power {row.power_diff:+.1%}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    factory = _factory_from(args)
+    configs = {
+        "CFET": FlowConfig(arch="cfet", back_layers=0,
+                           backside_pin_fraction=0.0,
+                           utilization=args.utilization,
+                           target_frequency_ghz=args.frequency),
+        "FFET FM12": FlowConfig(arch="ffet", back_layers=0,
+                                backside_pin_fraction=0.0,
+                                utilization=args.utilization,
+                                target_frequency_ghz=args.frequency),
+        "FFET dual": FlowConfig(arch="ffet", backside_pin_fraction=0.5,
+                                utilization=args.utilization,
+                                target_frequency_ghz=args.frequency),
+    }
+    runs = {}
+    for name, config in configs.items():
+        runs[name] = try_run(factory, config)
+        print(runs[name].summary() if isinstance(runs[name], PPAResult)
+              else f"{name}: FAILED")
+    cfet, ffet = runs["CFET"], runs["FFET FM12"]
+    if isinstance(cfet, PPAResult) and isinstance(ffet, PPAResult):
+        print(f"\nFFET FM12 vs CFET: area "
+              f"{ffet.core_area_um2 / cfet.core_area_um2 - 1:+.1%}, "
+              f"frequency {ffet.achieved_frequency_ghz / cfet.achieved_frequency_ghz - 1:+.1%}, "
+              f"power {ffet.total_power_mw / cfet.total_power_mw - 1:+.1%}")
+    _emit(args, list(runs.values()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FFET dual-sided physical implementation and PPA "
+                    "evaluation framework (DATE 2025 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize",
+                       help="build libraries, print Table I, dump Liberty")
+    p.add_argument("--arch", choices=("ffet", "cfet"), default="ffet")
+    p.add_argument("--liberty", metavar="FILE")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("run", help="run one full implementation flow")
+    _add_core_args(p)
+    _add_config_args(p)
+    _add_output_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="utilization or frequency sweep")
+    p.add_argument("axis", choices=("utilization", "frequency"))
+    p.add_argument("--points", type=float, nargs="+",
+                   help="utilization points")
+    p.add_argument("--targets", type=float, nargs="+",
+                   help="frequency targets, GHz")
+    _add_core_args(p)
+    _add_config_args(p)
+    _add_output_args(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("doe", help="Fig. 11 / Table III explorations")
+    p.add_argument("kind", choices=("pin-density", "coopt"))
+    p.add_argument("--fractions", type=float, nargs="+",
+                   default=[0.04, 0.3, 0.5])
+    p.add_argument("--points", type=float, nargs="+")
+    p.add_argument("--utilization", type=float, default=0.70)
+    p.add_argument("--frequency", type=float, default=1.5)
+    p.add_argument("--seed", type=int, default=0)
+    _add_core_args(p)
+    _add_output_args(p)
+    p.set_defaults(func=cmd_doe)
+
+    p = sub.add_parser("compare", help="CFET vs FFET headline comparison")
+    p.add_argument("--utilization", type=float, default=0.70)
+    p.add_argument("--frequency", type=float, default=1.5)
+    p.add_argument("--seed", type=int, default=0)
+    _add_core_args(p)
+    _add_output_args(p)
+    p.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The FFET evaluation framework: flow, configs, sweeps and DoEs."""
+
+from .artifacts import save_artifacts
+from .config import FlowConfig
+from .flow import FlowArtifacts, prepare_library, run_flow
+from .io import result_to_dict, results_to_csv, results_to_json
+from .ppa import FailedRun, PPAResult
+
+__all__ = [
+    "FailedRun",
+    "FlowArtifacts",
+    "FlowConfig",
+    "PPAResult",
+    "prepare_library",
+    "result_to_dict",
+    "results_to_csv",
+    "results_to_json",
+    "run_flow",
+    "save_artifacts",
+]

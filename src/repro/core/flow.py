@@ -1,0 +1,213 @@
+"""The full implementation + PPA evaluation flow (the paper's Fig. 7).
+
+Stages: library preparation (input-pin redistribution) -> synthesis
+sizing -> floorplan -> powerplan (BSPDN + Power Tap Cells) -> placement
+-> CTS -> dual-sided routing (Algorithm 1) -> two DEFs -> DEF merge ->
+dual-sided RC extraction -> STA + power -> :class:`PPAResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..cells import Library, build_library, pin_density_label, redistribute_input_pins
+from ..extract import congestion_derates, extract_design
+from ..lefdef import DefDesign, def_from_routing, merge_defs
+from ..netlist import Netlist
+from ..pnr import (
+    FloorplanSpec,
+    GlobalRouter,
+    PlacementError,
+    achieved_utilization,
+    assign_layers,
+    build_grid,
+    decompose_nets,
+    legalize,
+    pin_count_map,
+    place,
+    plan_floor,
+    plan_power,
+    refine_placement,
+    synthesize_clock_tree,
+)
+from ..power import analyze_power
+from ..sta import analyze_timing
+from ..synth import size_for_target
+from ..tech import Side
+from .config import FlowConfig
+from .ppa import PPAResult
+
+
+@dataclass
+class FlowArtifacts:
+    """Everything a run produced, for inspection and DEF export."""
+
+    library: Library
+    netlist: Netlist
+    die: object
+    powerplan: object
+    placement: object
+    cts_report: object
+    routing_results: dict
+    defs: dict[Side, DefDesign]
+    merged_def: DefDesign
+    extraction: object
+    result: PPAResult
+
+
+#: Characterized masters keyed by (arch, backside fraction, seed).
+#: Characterization does not depend on the routing-layer configuration,
+#: so sweeps over layer counts can share one library build.
+_MASTER_CACHE: dict[tuple, dict] = {}
+
+
+def prepare_library(config: FlowConfig) -> Library:
+    """Build + pin-redistribute the library for one configuration."""
+    tech = config.make_tech()
+    key = (config.arch, round(config.backside_pin_fraction, 6), config.seed)
+    masters = _MASTER_CACHE.get(key)
+    if masters is None:
+        library = build_library(tech)
+        if config.arch == "ffet" and config.backside_pin_fraction > 0:
+            library = redistribute_input_pins(
+                library, config.backside_pin_fraction, seed=config.seed
+            )
+        _MASTER_CACHE[key] = library.masters
+        masters = library.masters
+    return Library(tech=tech, masters=dict(masters))
+
+
+def run_flow(netlist_factory: Callable[[], Netlist], config: FlowConfig,
+             library: Library | None = None,
+             return_artifacts: bool = False):
+    """Run the complete flow; returns a :class:`PPAResult`.
+
+    ``netlist_factory`` must return a *fresh* netlist each call (the
+    flow mutates it: buffering, sizing, CTS).  Pass ``library`` to
+    reuse a characterized library across runs of the same config
+    family.  Raises :class:`~repro.pnr.PlacementError` when the target
+    utilization cannot be placed (e.g. beyond the tap-cell limit).
+    """
+    if library is None:
+        library = prepare_library(config)
+    tech = library.tech
+
+    netlist = netlist_factory()
+    netlist.bind(library)
+
+    # Synthesis-style timing optimization against the target period.
+    sizing = size_for_target(
+        netlist, library, config.target_period_ps, clock=config.clock,
+        max_iterations=config.sizing_iterations, max_fanout=config.max_fanout,
+    )
+
+    # Floorplan and powerplan.
+    die = plan_floor(netlist, library,
+                     FloorplanSpec(config.utilization, config.aspect_ratio))
+    powerplan = plan_power(tech, die, config.power_stripe_pitch_cpp)
+    util = achieved_utilization(netlist, library, die)
+    if util > powerplan.max_legal_utilization:
+        raise PlacementError(
+            f"utilization {util:.2f} exceeds the Power-Tap-Cell limit "
+            f"{powerplan.max_legal_utilization:.2f}"
+        )
+
+    # Placement and CTS.
+    placement = place(netlist, library, die, powerplan, seed=config.seed)
+    cts_report = synthesize_clock_tree(netlist, library, placement,
+                                       clock_net=config.clock)
+    placement = legalize(placement, netlist, library, powerplan)
+    if config.refine_placement:
+        refine_placement(netlist, library, placement, powerplan,
+                         iterations=config.refine_iterations,
+                         seed=config.seed)
+
+    # Per-side pin density maps and routing grids.
+    sides = [Side.FRONT] + ([Side.BACK] if tech.uses_backside_signals else [])
+    grids = {}
+    for side in sides:
+        pin_xy = []
+        for inst_name, inst in netlist.instances.items():
+            master = library[inst.master]
+            p = placement.locations[inst_name]
+            for pin in master.pins.values():
+                if pin.on_side(side):
+                    pin_xy.append((p.x_nm, p.y_nm))
+        counts = pin_count_map(pin_xy, die, config.gcell_tracks,
+                               tech.rules.track_pitch_nm)
+        grids[side] = build_grid(tech, die, side, powerplan,
+                                 pin_counts=counts,
+                                 gcell_tracks=config.gcell_tracks)
+
+    # Algorithm 1: decompose and route each side independently.
+    decomposition = decompose_nets(netlist, library, placement, grids,
+                                   allow_bridging=config.allow_bridging)
+    routing_results = {}
+    for side in sides:
+        router = GlobalRouter(grids[side], rrr_iterations=config.rrr_iterations)
+        routing_results[side] = router.route_all(decomposition.specs[side])
+
+    # Two DEFs, merged for dual-sided extraction (Section III.C).
+    defs = {}
+    for side in sides:
+        assignment = assign_layers(routing_results[side])
+        defs[side] = def_from_routing(
+            netlist, placement, die, routing_results[side], assignment,
+            powerplan=powerplan,
+            design_name=f"{netlist.name}_{side.value}",
+        )
+    if Side.BACK in defs:
+        merged = merge_defs(defs[Side.FRONT], defs[Side.BACK],
+                            name=netlist.name)
+    else:
+        merged = defs[Side.FRONT]
+
+    derates = congestion_derates(routing_results)
+    extraction = extract_design(merged, netlist, library, placement,
+                                rc_derates=derates)
+
+    timing = analyze_timing(netlist, library, extraction,
+                            config.target_period_ps, clock=config.clock)
+    achieved_ghz = timing.achieved_frequency_ghz
+    power = analyze_power(netlist, library, extraction, achieved_ghz,
+                          activity=config.activity, clock=config.clock)
+
+    drv = sum(r.drv_count for r in routing_results.values())
+    front_wl = routing_results[Side.FRONT].total_wirelength_nm / 1000.0
+    back_wl = (routing_results[Side.BACK].total_wirelength_nm / 1000.0
+               if Side.BACK in routing_results else 0.0)
+
+    result = PPAResult(
+        label=config.label,
+        arch=config.arch,
+        routing_label=tech.routing_label,
+        pin_density_label=(
+            pin_density_label(config.backside_pin_fraction)
+            if config.arch == "ffet" and config.back_layers else ""
+        ),
+        target_frequency_ghz=config.target_frequency_ghz,
+        target_utilization=config.utilization,
+        achieved_utilization=util,
+        core_area_um2=die.area_um2,
+        cell_area_um2=netlist.total_cell_area_nm2(library) / 1e6,
+        cell_count=len(netlist.instances),
+        achieved_frequency_ghz=achieved_ghz,
+        timing=timing,
+        power=power,
+        drv_count=drv,
+        total_wirelength_um=front_wl + back_wl,
+        front_wirelength_um=front_wl,
+        back_wirelength_um=back_wl,
+        tap_cell_count=len(powerplan.tap_cells),
+        cts_buffers=cts_report.buffers,
+        placement_feasible=True,
+    )
+    if return_artifacts:
+        return FlowArtifacts(
+            library=library, netlist=netlist, die=die, powerplan=powerplan,
+            placement=placement, cts_report=cts_report,
+            routing_results=routing_results, defs=defs, merged_def=merged,
+            extraction=extraction, result=result,
+        )
+    return result

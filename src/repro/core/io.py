@@ -1,0 +1,61 @@
+"""Serialization of experiment results to JSON/CSV rows."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from .ppa import FailedRun, PPAResult
+
+#: Flat columns exported for each run.
+RESULT_FIELDS = (
+    "label", "arch", "routing_label", "pin_density_label",
+    "target_frequency_ghz", "target_utilization", "achieved_utilization",
+    "core_area_um2", "cell_area_um2", "cell_count",
+    "achieved_frequency_ghz", "total_power_mw", "power_efficiency",
+    "drv_count", "valid", "total_wirelength_um", "front_wirelength_um",
+    "back_wirelength_um", "tap_cell_count", "cts_buffers",
+)
+
+
+def result_to_dict(run: PPAResult | FailedRun) -> dict:
+    """Flatten one run into plain JSON-serializable values."""
+    if isinstance(run, FailedRun):
+        return {
+            "label": run.label,
+            "target_utilization": run.target_utilization,
+            "valid": False,
+            "failure": run.reason,
+        }
+    out = {}
+    for field in RESULT_FIELDS:
+        value = getattr(run, field)
+        out[field] = value
+    out["wns_ps"] = run.timing.wns_ps
+    out["clock_skew_ps"] = run.timing.clock_skew_ps
+    out["switching_mw"] = run.power.switching_mw
+    out["internal_mw"] = run.power.internal_mw
+    out["leakage_mw"] = run.power.leakage_mw
+    return out
+
+
+def results_to_json(runs: Iterable[PPAResult | FailedRun],
+                    indent: int = 2) -> str:
+    return json.dumps([result_to_dict(r) for r in runs], indent=indent)
+
+
+def results_to_csv(runs: Iterable[PPAResult | FailedRun]) -> str:
+    rows = [result_to_dict(r) for r in runs]
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()

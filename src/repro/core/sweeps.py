@@ -1,0 +1,130 @@
+"""Parameter sweeps behind the paper's figures.
+
+Each function returns plain result rows; the benchmarks print them in
+the same shape as the corresponding paper figure, and EXPERIMENTS.md
+records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..netlist import Netlist
+from ..pnr import PlacementError
+from .config import FlowConfig
+from .flow import prepare_library, run_flow
+from .ppa import FailedRun, PPAResult
+
+#: Utilization grid used by the paper's utilization sweeps (Fig. 8, 11).
+DEFAULT_UTILIZATIONS = tuple(round(0.46 + 0.05 * i, 2) for i in range(9))
+
+
+def try_run(netlist_factory: Callable[[], Netlist],
+            config: FlowConfig) -> PPAResult | FailedRun:
+    """Run one flow; a placement failure becomes a :class:`FailedRun`."""
+    library = prepare_library(config)
+    try:
+        return run_flow(netlist_factory, config, library=library)
+    except PlacementError as exc:
+        return FailedRun(
+            label=config.label,
+            target_utilization=config.utilization,
+            reason=str(exc),
+        )
+
+
+def utilization_sweep(netlist_factory: Callable[[], Netlist],
+                      config: FlowConfig,
+                      utilizations: Sequence[float] = DEFAULT_UTILIZATIONS
+                      ) -> list[PPAResult | FailedRun]:
+    """Core area vs utilization (Fig. 8a/8c) and the Fig. 11 point sets."""
+    return [
+        try_run(netlist_factory, config.with_(utilization=util))
+        for util in utilizations
+    ]
+
+
+def max_valid_utilization(netlist_factory: Callable[[], Netlist],
+                          config: FlowConfig,
+                          utilizations: Sequence[float] | None = None,
+                          ) -> tuple[float, list[PPAResult | FailedRun]]:
+    """Highest utilization that places cleanly and routes with <10 DRVs.
+
+    This is the paper's "maximum utilization" metric (Figs. 8 and 12).
+    Returns (max utilization, all runs); 0.0 when nothing is valid.
+    """
+    if utilizations is None:
+        utilizations = [round(0.46 + 0.02 * i, 2) for i in range(23)]
+    runs = []
+    best = 0.0
+    for util in utilizations:
+        run = try_run(netlist_factory, config.with_(utilization=util))
+        runs.append(run)
+        if run.valid:
+            best = max(best, util)
+    return best, runs
+
+
+def frequency_sweep(netlist_factory: Callable[[], Netlist],
+                    config: FlowConfig,
+                    targets_ghz: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0),
+                    ) -> list[PPAResult | FailedRun]:
+    """Power-frequency relationship (Fig. 9): sweep the synthesis target."""
+    return [
+        try_run(netlist_factory, config.with_(target_frequency_ghz=f))
+        for f in targets_ghz
+    ]
+
+
+def frequency_area_sweep(netlist_factory: Callable[[], Netlist],
+                         config: FlowConfig,
+                         utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+                         ) -> list[PPAResult | FailedRun]:
+    """Frequency-area relationship (Fig. 10): at a fixed 1.5 GHz target,
+    smaller dies (higher utilization) trade frequency for area."""
+    return utilization_sweep(netlist_factory, config, utilizations)
+
+
+@dataclass(frozen=True)
+class LayerSweepPoint:
+    """One point of the Fig. 12 / Fig. 13 layer-count sweeps."""
+
+    front_layers: int
+    back_layers: int
+    max_utilization: float
+    result: PPAResult | FailedRun | None
+
+    @property
+    def label(self) -> str:
+        back = f"BM{self.back_layers}" if self.back_layers else ""
+        return f"FM{self.front_layers}{back}"
+
+
+def layer_count_utilization_sweep(netlist_factory: Callable[[], Netlist],
+                                  config: FlowConfig,
+                                  layer_counts: Sequence[int] = tuple(range(2, 13)),
+                                  utilizations: Sequence[float] | None = None,
+                                  ) -> list[LayerSweepPoint]:
+    """Fig. 12: max utilization vs symmetric front/back layer count."""
+    points = []
+    for n in layer_counts:
+        cfg = config.with_(front_layers=n, back_layers=n)
+        best, _runs = max_valid_utilization(netlist_factory, cfg, utilizations)
+        points.append(LayerSweepPoint(n, n, best, None))
+    return points
+
+
+def layer_count_efficiency_sweep(netlist_factory: Callable[[], Netlist],
+                                 config: FlowConfig,
+                                 layer_counts: Sequence[int] = tuple(range(3, 13)),
+                                 ) -> list[LayerSweepPoint]:
+    """Fig. 13: power efficiency vs symmetric layer count at fixed
+    utilization and 1.5 GHz target."""
+    points = []
+    for n in layer_counts:
+        cfg = config.with_(front_layers=n, back_layers=n)
+        run = try_run(netlist_factory, cfg)
+        util = run.achieved_utilization if isinstance(run, PPAResult) else 0.0
+        points.append(LayerSweepPoint(n, n, util, run))
+    return points

@@ -1,0 +1,26 @@
+"""Dual-sided RC extraction: RC trees, Elmore delay, DEF-based extraction."""
+
+from .extract import (
+    VIA_RES_KOHM,
+    Extraction,
+    congestion_derates,
+    estimate_parasitics,
+    extract_design,
+    extract_net,
+)
+from .rc import NetParasitics, RCTree
+from .spef import SpefNet, parse_spef, write_spef
+
+__all__ = [
+    "Extraction",
+    "NetParasitics",
+    "RCTree",
+    "VIA_RES_KOHM",
+    "congestion_derates",
+    "estimate_parasitics",
+    "extract_design",
+    "extract_net",
+    "parse_spef",
+    "write_spef",
+    "SpefNet",
+]

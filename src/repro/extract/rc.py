@@ -1,0 +1,114 @@
+"""RC trees and Elmore delay computation."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+@dataclass
+class RCTree:
+    """A grounded-capacitance RC network rooted at the driver node.
+
+    Built as a graph; loops (overlapping route segments) are tolerated —
+    Elmore evaluation uses a BFS spanning tree from the root, which is
+    the standard conservative treatment.
+    """
+
+    root: Hashable
+    cap_ff: dict[Hashable, float] = field(default_factory=dict)
+    adj: dict[Hashable, list[tuple[Hashable, float]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.cap_ff.setdefault(self.root, 0.0)
+        self.adj.setdefault(self.root, [])
+
+    def add_node(self, node: Hashable, cap_ff: float = 0.0) -> None:
+        self.cap_ff[node] = self.cap_ff.get(node, 0.0) + cap_ff
+        self.adj.setdefault(node, [])
+
+    def add_cap(self, node: Hashable, cap_ff: float) -> None:
+        self.add_node(node, cap_ff)
+
+    def add_edge(self, a: Hashable, b: Hashable, res_kohm: float) -> None:
+        self.add_node(a)
+        self.add_node(b)
+        self.adj[a].append((b, res_kohm))
+        self.adj[b].append((a, res_kohm))
+
+    @property
+    def total_cap_ff(self) -> float:
+        return sum(self.cap_ff.values())
+
+    def spanning_tree(self) -> dict[Hashable, tuple[Hashable, float]]:
+        """BFS parents: node -> (parent, edge resistance)."""
+        parents: dict[Hashable, tuple[Hashable, float]] = {}
+        seen = {self.root}
+        queue = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            for neighbor, res in self.adj[node]:
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                parents[neighbor] = (node, res)
+                queue.append(neighbor)
+        return parents
+
+    def elmore_ps(self) -> dict[Hashable, float]:
+        """Elmore delay (ps) from the root to every reachable node."""
+        parents = self.spanning_tree()
+        children: dict[Hashable, list[Hashable]] = {}
+        for node, (parent, _res) in parents.items():
+            children.setdefault(parent, []).append(node)
+
+        # Post-order subtree capacitance.
+        subtree_cap: dict[Hashable, float] = {}
+        order: list[Hashable] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(children.get(node, ()))
+        for node in reversed(order):
+            cap = self.cap_ff.get(node, 0.0)
+            for child in children.get(node, ()):
+                cap += subtree_cap[child]
+            subtree_cap[node] = cap
+
+        # Pre-order delay accumulation.
+        delay: dict[Hashable, float] = {self.root: 0.0}
+        for node in order:
+            for child in children.get(node, ()):
+                _parent, res = parents[child]
+                delay[child] = delay[node] + res * subtree_cap[child]
+        return delay
+
+    def is_connected(self, node: Hashable) -> bool:
+        if node == self.root:
+            return True
+        return node in self.spanning_tree()
+
+
+@dataclass(frozen=True)
+class NetParasitics:
+    """Extraction summary for one net."""
+
+    net: str
+    wire_cap_ff: float
+    wire_res_kohm: float
+    pin_cap_ff: float
+    #: Wire-only Elmore delay to each sink, ps.
+    sink_elmore_ps: dict[tuple[str, str], float]
+    #: Total wirelength (all sides), nm.
+    wirelength_nm: float
+    via_count: int = 0
+
+    @property
+    def total_cap_ff(self) -> float:
+        """Load the driver sees: wire plus sink pin capacitance."""
+        return self.wire_cap_ff + self.pin_cap_ff
+
+    def elmore_to(self, inst: str, pin: str) -> float:
+        return self.sink_elmore_ps.get((inst, pin), 0.0)

@@ -1,0 +1,101 @@
+"""SPEF writer: serialize extracted parasitics in IEEE 1481 style.
+
+StarRC (the paper's extraction tool) emits SPEF for the STA engine; we
+mirror that interface so downstream tools (or golden-file tests) can
+consume the dual-sided extraction results.  The writer emits the lumped
+summary form: ``*D_NET`` with total capacitance, ``*CONN`` sections and
+a single lumped ``*RES`` per net (our RC trees live in
+:class:`~repro.extract.rc.NetParasitics`; SPEF's distributed form adds
+no information to the Elmore summaries we carry).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..netlist import Netlist
+from .extract import Extraction
+
+_HEADER = """*SPEF "IEEE 1481-1998"
+*DESIGN "{design}"
+*VENDOR "ffet-repro"
+*PROGRAM "repro.extract.spef"
+*DIVIDER /
+*DELIMITER :
+*BUS_DELIMITER [ ]
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 KOHM
+*L_UNIT 1 HENRY
+"""
+
+
+def write_spef(netlist: Netlist, extraction: Extraction) -> str:
+    """Serialize every extracted net as a SPEF ``*D_NET`` section."""
+    out = [_HEADER.format(design=netlist.name)]
+    for net_name in sorted(netlist.nets):
+        if net_name not in extraction:
+            continue
+        p = extraction[net_name]
+        net = netlist.nets[net_name]
+        out.append(f"*D_NET {net_name} {p.total_cap_ff:.6f}")
+        out.append("*CONN")
+        if net.driver is not None:
+            inst, pin = net.driver
+            out.append(f"*I {inst}:{pin} O")
+        elif net.is_primary_input:
+            out.append(f"*P {net_name} I")
+        for inst, pin in net.sinks:
+            out.append(f"*I {inst}:{pin} I")
+        out.append("*CAP")
+        out.append(f"1 {net_name}:1 {p.wire_cap_ff:.6f}")
+        out.append("*RES")
+        out.append(f"1 {net_name}:1 {net_name}:2 {p.wire_res_kohm:.6f}")
+        out.append("*END")
+        out.append("")
+    return "\n".join(out)
+
+
+@dataclass
+class SpefNet:
+    """One parsed ``*D_NET`` section."""
+
+    name: str
+    total_cap_ff: float
+    driver: tuple[str, str] | None = None
+    sinks: list[tuple[str, str]] = field(default_factory=list)
+    wire_cap_ff: float = 0.0
+    wire_res_kohm: float = 0.0
+
+
+def parse_spef(text: str) -> dict[str, SpefNet]:
+    """Parse the subset written by :func:`write_spef`."""
+    nets: dict[str, SpefNet] = {}
+    current: SpefNet | None = None
+    section = ""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("*D_NET"):
+            _kw, name, cap = line.split()
+            current = SpefNet(name=name, total_cap_ff=float(cap))
+            nets[name] = current
+            section = ""
+        elif line in ("*CONN", "*CAP", "*RES"):
+            section = line
+        elif line == "*END":
+            current = None
+        elif current is None:
+            continue
+        elif section == "*CONN" and line.startswith("*I "):
+            _kw, conn, direction = line.split()
+            inst, pin = conn.split(":")
+            if direction == "O":
+                current.driver = (inst, pin)
+            else:
+                current.sinks.append((inst, pin))
+        elif section == "*CAP" and re.match(r"\d+ ", line):
+            current.wire_cap_ff = float(line.split()[-1])
+        elif section == "*RES" and re.match(r"\d+ ", line):
+            current.wire_res_kohm = float(line.split()[-1])
+    return nets

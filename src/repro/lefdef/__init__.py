@@ -1,0 +1,31 @@
+"""LEF/DEF infrastructure: writers, parsers and the dual-sided merge."""
+
+from .def_ import (
+    DefComponent,
+    DefDesign,
+    RouteSegment,
+    def_from_routing,
+    parse_def,
+    write_def,
+)
+from .drc import DrcReport, DrcViolation, check_connectivity, check_def
+from .lef import LefMacro, LefPin, parse_lef, write_lef
+from .merge import merge_defs
+
+__all__ = [
+    "DefComponent",
+    "DrcReport",
+    "DrcViolation",
+    "DefDesign",
+    "LefMacro",
+    "LefPin",
+    "RouteSegment",
+    "def_from_routing",
+    "check_connectivity",
+    "check_def",
+    "merge_defs",
+    "parse_def",
+    "parse_lef",
+    "write_def",
+    "write_lef",
+]

@@ -1,0 +1,259 @@
+"""Minimal DEF writer/parser and construction from routing results.
+
+The flow emits one DEF per wafer side after dual-sided routing (the two
+files of Algorithm 1, line 10) and merges them for RC extraction
+(Section III.C).  Layer names carry the side (``FM*`` / ``BM*``), so a
+merged DEF is unambiguous.  Coordinates are database units of 1 nm.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..netlist import Netlist
+from ..tech import Side
+from ..pnr.geometry import Die
+from ..pnr.placement import Placement
+from ..pnr.powerplan import PowerPlan
+from ..pnr.routing.layers import LayerAssignment
+from ..pnr.routing.router import NetRoute, RoutingResult
+
+
+@dataclass(frozen=True)
+class RouteSegment:
+    """One straight routed wire piece."""
+
+    layer: str
+    x1_nm: float
+    y1_nm: float
+    x2_nm: float
+    y2_nm: float
+
+    @property
+    def length_nm(self) -> float:
+        return abs(self.x2_nm - self.x1_nm) + abs(self.y2_nm - self.y1_nm)
+
+
+@dataclass(frozen=True)
+class DefComponent:
+    name: str
+    master: str
+    x_nm: float
+    y_nm: float
+    fixed: bool = False
+
+
+@dataclass
+class DefDesign:
+    """In-memory representation of one DEF file."""
+
+    name: str
+    die_width_nm: float
+    die_height_nm: float
+    components: dict[str, DefComponent] = field(default_factory=dict)
+    nets: dict[str, list[RouteSegment]] = field(default_factory=dict)
+    special_nets: dict[str, list[RouteSegment]] = field(default_factory=dict)
+
+    @property
+    def total_wirelength_nm(self) -> float:
+        return sum(seg.length_nm for segs in self.nets.values() for seg in segs)
+
+    def layers_used(self) -> set[str]:
+        return {seg.layer for segs in self.nets.values() for seg in segs}
+
+
+def _segments_from_route(route: NetRoute, gcell_nm: float,
+                         h_layer: str, v_layer: str,
+                         max_x_nm: float | None = None,
+                         max_y_nm: float | None = None) -> list[RouteSegment]:
+    """Merge unit gcell edges into maximal straight segments.
+
+    Coordinates are gcell centers, clamped to the die outline: the last
+    gcell of a non-multiple die extends past the core, but wires may
+    not.
+    """
+    h_runs: dict[int, list[int]] = {}
+    v_runs: dict[int, list[int]] = {}
+    for (c1, r1), (c2, r2) in route.edges:
+        if r1 == r2:
+            h_runs.setdefault(r1, []).append(min(c1, c2))
+        else:
+            v_runs.setdefault(c1, []).append(min(r1, r2))
+
+    def center(i: int, limit: float | None) -> float:
+        value = (i + 0.5) * gcell_nm
+        return min(value, limit) if limit is not None else value
+
+    def cx(i: int) -> float:
+        return center(i, max_x_nm)
+
+    def cy(i: int) -> float:
+        return center(i, max_y_nm)
+
+    segments: list[RouteSegment] = []
+    for row, cols in h_runs.items():
+        cols.sort()
+        start = prev = cols[0]
+        for c in cols[1:] + [None]:
+            if c is not None and c == prev + 1:
+                prev = c
+                continue
+            segments.append(RouteSegment(
+                h_layer, cx(start), cy(row), cx(prev + 1), cy(row)
+            ))
+            if c is not None:
+                start = prev = c
+    for col, rows in v_runs.items():
+        rows.sort()
+        start = prev = rows[0]
+        for r in rows[1:] + [None]:
+            if r is not None and r == prev + 1:
+                prev = r
+                continue
+            segments.append(RouteSegment(
+                v_layer, cx(col), cy(start), cx(col), cy(prev + 1)
+            ))
+            if r is not None:
+                start = prev = r
+    return segments
+
+
+def def_from_routing(netlist: Netlist, placement: Placement, die: Die,
+                     result: RoutingResult, assignment: LayerAssignment,
+                     powerplan: PowerPlan | None = None,
+                     design_name: str | None = None) -> DefDesign:
+    """Build the DEF view of one routed wafer side."""
+    side = result.side
+    design = DefDesign(
+        name=design_name or f"{netlist.name}_{side.value}",
+        die_width_nm=die.width_nm,
+        die_height_nm=die.height_nm,
+    )
+    for inst_name in sorted(netlist.instances):
+        p = placement.locations[inst_name]
+        design.components[inst_name] = DefComponent(
+            inst_name, netlist.instances[inst_name].master, p.x_nm, p.y_nm
+        )
+    if powerplan is not None:
+        for tap in powerplan.tap_cells:
+            design.components[tap.name] = DefComponent(
+                tap.name, "PTAP",
+                (tap.site + tap.width_sites / 2) * die.site_width_nm,
+                (tap.row + 0.5) * die.row_height_nm,
+                fixed=True,
+            )
+        for stripe in powerplan.stripes:
+            if (side is Side.BACK) == stripe.layer.startswith("B"):
+                design.special_nets.setdefault(stripe.net, []).append(
+                    RouteSegment(stripe.layer, stripe.x_nm, 0.0,
+                                 stripe.x_nm, die.height_nm)
+                )
+    for name, route in result.routes.items():
+        tier = assignment.tier_of(name)
+        design.nets[name] = _segments_from_route(
+            route, result.grid.gcell_nm,
+            tier.horizontal.name, tier.vertical.name,
+            max_x_nm=die.width_nm, max_y_nm=die.height_nm,
+        )
+    return design
+
+
+def write_def(design: DefDesign) -> str:
+    """Serialize to DEF text (DBU = 1 nm)."""
+    lines = [
+        "VERSION 5.8 ;",
+        f"DESIGN {design.name} ;",
+        "UNITS DISTANCE MICRONS 1000 ;",
+        f"DIEAREA ( 0 0 ) ( {int(design.die_width_nm)} "
+        f"{int(design.die_height_nm)} ) ;",
+        "",
+        f"COMPONENTS {len(design.components)} ;",
+    ]
+    for comp in sorted(design.components.values(), key=lambda c: c.name):
+        status = "FIXED" if comp.fixed else "PLACED"
+        lines.append(
+            f"- {comp.name} {comp.master} + {status} "
+            f"( {int(comp.x_nm)} {int(comp.y_nm)} ) N ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append("")
+
+    if design.special_nets:
+        lines.append(f"SPECIALNETS {len(design.special_nets)} ;")
+        for net_name in sorted(design.special_nets):
+            lines.append(f"- {net_name}")
+            for seg in design.special_nets[net_name]:
+                lines.append(
+                    f"  + ROUTED {seg.layer} 200 ( {int(seg.x1_nm)} "
+                    f"{int(seg.y1_nm)} ) ( {int(seg.x2_nm)} {int(seg.y2_nm)} )"
+                )
+            lines.append("  ;")
+        lines.append("END SPECIALNETS")
+        lines.append("")
+
+    lines.append(f"NETS {len(design.nets)} ;")
+    for net_name in sorted(design.nets):
+        lines.append(f"- {net_name}")
+        for seg in design.nets[net_name]:
+            lines.append(
+                f"  + ROUTED {seg.layer} ( {int(seg.x1_nm)} {int(seg.y1_nm)} )"
+                f" ( {int(seg.x2_nm)} {int(seg.y2_nm)} )"
+            )
+        lines.append("  ;")
+    lines.append("END NETS")
+    lines.append("")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+_COMPONENT_RE = re.compile(
+    r"-\s+(\S+)\s+(\S+)\s+\+\s+(PLACED|FIXED)\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)"
+)
+_SEGMENT_RE = re.compile(
+    r"\+\s+ROUTED\s+(\S+)(?:\s+\d+)?\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)\s+"
+    r"\(\s*(-?\d+)\s+(-?\d+)\s*\)"
+)
+
+
+def parse_def(text: str) -> DefDesign:
+    """Parse the subset written by :func:`write_def`."""
+    name_match = re.search(r"DESIGN\s+(\S+)\s*;", text)
+    die_match = re.search(
+        r"DIEAREA\s+\(\s*\d+\s+\d+\s*\)\s+\(\s*(\d+)\s+(\d+)\s*\)", text
+    )
+    if name_match is None or die_match is None:
+        raise ValueError("missing DESIGN or DIEAREA")
+    design = DefDesign(
+        name=name_match.group(1),
+        die_width_nm=float(die_match.group(1)),
+        die_height_nm=float(die_match.group(2)),
+    )
+
+    def section(header: str) -> str:
+        m = re.search(rf"{header}\s+\d+\s*;(.*?)END {header}", text, re.DOTALL)
+        return m.group(1) if m else ""
+
+    for m in _COMPONENT_RE.finditer(section("COMPONENTS")):
+        comp = DefComponent(
+            m.group(1), m.group(2), float(m.group(4)), float(m.group(5)),
+            fixed=m.group(3) == "FIXED",
+        )
+        design.components[comp.name] = comp
+
+    for target, body in (
+        (design.special_nets, section("SPECIALNETS")),
+        (design.nets, section("NETS")),
+    ):
+        for chunk in re.split(r"\n-\s+", "\n" + body):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            net_name = chunk.split()[0]
+            segments = [
+                RouteSegment(s.group(1), float(s.group(2)), float(s.group(3)),
+                             float(s.group(4)), float(s.group(5)))
+                for s in _SEGMENT_RE.finditer(chunk)
+            ]
+            target[net_name] = segments
+    return design

@@ -1,0 +1,120 @@
+"""Physical-verification checks on DEF views (a mini DRC/LVS-lite).
+
+Catches flow bugs that the PPA numbers would silently absorb:
+
+* routed segments must sit on layers that exist in the technology, be
+  signal-routable, stay inside the die, and be axis-parallel;
+* a per-side DEF must only use that side's layers;
+* components must sit inside the die and reference known masters;
+* special nets (PDN) must use power-capable layers;
+* connectivity: every net in the DEF belongs to the netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cells import Library
+from ..netlist import Netlist
+from ..tech import LayerPurpose, Side
+from .def_ import DefDesign
+
+
+@dataclass(frozen=True)
+class DrcViolation:
+    """One physical-verification finding."""
+
+    rule: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.rule}] {self.subject}: {self.detail}"
+
+
+@dataclass
+class DrcReport:
+    """All findings of one check run."""
+
+    violations: list[DrcViolation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def count(self, rule: str) -> int:
+        return sum(1 for v in self.violations if v.rule == rule)
+
+    def add(self, rule: str, subject: str, detail: str) -> None:
+        self.violations.append(DrcViolation(rule, subject, detail))
+
+
+def check_def(design: DefDesign, library: Library,
+              netlist: Netlist | None = None,
+              side: Side | None = None) -> DrcReport:
+    """Run all checks; ``side`` restricts layers to one wafer side."""
+    report = DrcReport()
+    stackup = library.tech.stackup
+    tolerance = 1.0  # nm slack for rounding at the die edge
+
+    def inside(x: float, y: float) -> bool:
+        return (-tolerance <= x <= design.die_width_nm + tolerance
+                and -tolerance <= y <= design.die_height_nm + tolerance)
+
+    known_masters = set(library.masters) | {"PTAP", "NTSV"}
+    for comp in design.components.values():
+        if comp.master not in known_masters:
+            report.add("component.master", comp.name,
+                       f"unknown master {comp.master}")
+        if not inside(comp.x_nm, comp.y_nm):
+            report.add("component.bounds", comp.name,
+                       f"at ({comp.x_nm}, {comp.y_nm}) outside die")
+
+    for net_name, segments in design.nets.items():
+        if netlist is not None and net_name not in netlist.nets:
+            report.add("net.unknown", net_name, "not in the netlist")
+        for seg in segments:
+            layer = stackup.get(seg.layer)
+            if layer is None:
+                report.add("wire.layer", net_name,
+                           f"layer {seg.layer} not in stackup")
+                continue
+            if not layer.is_routable:
+                report.add("wire.purpose", net_name,
+                           f"layer {seg.layer} is not signal-routable")
+            if side is not None and layer.side is not side:
+                report.add("wire.side", net_name,
+                           f"layer {seg.layer} is on the wrong wafer side")
+            if seg.x1_nm != seg.x2_nm and seg.y1_nm != seg.y2_nm:
+                report.add("wire.orthogonal", net_name,
+                           "segment is not axis-parallel")
+            for x, y in ((seg.x1_nm, seg.y1_nm), (seg.x2_nm, seg.y2_nm)):
+                if not inside(x, y):
+                    report.add("wire.bounds", net_name,
+                               f"endpoint ({x}, {y}) outside die")
+
+    for net_name, segments in design.special_nets.items():
+        for seg in segments:
+            layer = stackup.get(seg.layer)
+            if layer is None:
+                report.add("pdn.layer", net_name,
+                           f"layer {seg.layer} not in stackup")
+                continue
+            if layer.purpose not in (LayerPurpose.POWER, LayerPurpose.SIGNAL):
+                report.add("pdn.purpose", net_name,
+                           f"layer {seg.layer} cannot carry power")
+    return report
+
+
+def check_connectivity(design: DefDesign, netlist: Netlist) -> DrcReport:
+    """LVS-lite: the DEF must place exactly the netlist's instances."""
+    report = DrcReport()
+    placed = {name for name, comp in design.components.items()
+              if comp.master not in ("PTAP", "NTSV")}
+    missing = set(netlist.instances) - placed
+    extra = placed - set(netlist.instances)
+    for name in sorted(missing):
+        report.add("lvs.missing", name, "instance not placed in the DEF")
+    for name in sorted(extra):
+        report.add("lvs.extra", name, "DEF component not in the netlist")
+    return report

@@ -1,0 +1,110 @@
+"""Minimal LEF writer/parser for the dual-sided cell libraries.
+
+Standard LEF has no notion of wafer side; the paper modifies cell LEF
+files to move pins between sides (Section III.A).  We encode the side
+in the layer name of each pin's PORT rectangle: ``FM0`` for frontside
+pins, ``BM0`` for backside pins — the same convention the FFET stackup
+uses, so a dual-sided pin simply has one PORT per side.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..cells import Library
+from ..tech import Side
+
+_SIDE_LAYER = {Side.FRONT: "FM0", Side.BACK: "BM0"}
+_LAYER_SIDE = {"FM0": Side.FRONT, "BM0": Side.BACK}
+
+
+def write_lef(library: Library) -> str:
+    """Serialize the library's physical abstract as LEF text."""
+    tech = library.tech
+    lines = [
+        "VERSION 5.8 ;",
+        "BUSBITCHARS \"[]\" ;",
+        "DIVIDERCHAR \"/\" ;",
+        f"UNITS DATABASE MICRONS 1000 ; END UNITS",
+        "",
+    ]
+    for master in sorted(library.masters.values(), key=lambda m: m.name):
+        width_um = master.width_cpp * tech.cpp_nm / 1000.0
+        height_um = master.height_tracks * tech.track_pitch_nm / 1000.0
+        lines.append(f"MACRO {master.name}")
+        lines.append("  CLASS CORE ;")
+        lines.append(f"  SIZE {width_um:.4f} BY {height_um:.4f} ;")
+        lines.append("  ORIGIN 0 0 ;")
+        for pin in sorted(master.pins.values(), key=lambda p: p.name):
+            direction = "OUTPUT" if pin.is_output else "INPUT"
+            use = "CLOCK" if pin.is_clock else "SIGNAL"
+            lines.append(f"  PIN {pin.name}")
+            lines.append(f"    DIRECTION {direction} ;")
+            lines.append(f"    USE {use} ;")
+            for side in sorted(pin.sides, key=lambda s: s.value):
+                x = (pin.track + 0.5) * tech.cpp_nm / 1000.0
+                x = min(x, width_um - 0.001)
+                lines.append("    PORT")
+                lines.append(f"      LAYER {_SIDE_LAYER[side]} ;")
+                lines.append(
+                    f"      RECT {x:.4f} 0.0000 {x + 0.014:.4f} "
+                    f"{height_um:.4f} ;"
+                )
+                lines.append("    END")
+            lines.append(f"  END {pin.name}")
+        lines.append(f"END {master.name}")
+        lines.append("")
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class LefPin:
+    name: str
+    direction: str
+    use: str
+    sides: set[Side] = field(default_factory=set)
+
+
+@dataclass
+class LefMacro:
+    name: str
+    width_um: float
+    height_um: float
+    pins: dict[str, LefPin] = field(default_factory=dict)
+
+
+def parse_lef(text: str) -> dict[str, LefMacro]:
+    """Parse the subset written by :func:`write_lef`."""
+    macros: dict[str, LefMacro] = {}
+    macro: LefMacro | None = None
+    pin: LefPin | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("MACRO "):
+            macro = LefMacro(line.split()[1], 0.0, 0.0)
+            macros[macro.name] = macro
+        elif line.startswith("SIZE ") and macro is not None:
+            m = re.match(r"SIZE\s+([\d.]+)\s+BY\s+([\d.]+)", line)
+            if m:
+                macro.width_um = float(m.group(1))
+                macro.height_um = float(m.group(2))
+        elif line.startswith("PIN ") and macro is not None:
+            pin = LefPin(line.split()[1], "INPUT", "SIGNAL")
+            macro.pins[pin.name] = pin
+        elif line.startswith("DIRECTION ") and pin is not None:
+            pin.direction = line.split()[1]
+        elif line.startswith("USE ") and pin is not None:
+            pin.use = line.split()[1]
+        elif line.startswith("LAYER ") and pin is not None:
+            layer = line.split()[1]
+            if layer in _LAYER_SIDE:
+                pin.sides.add(_LAYER_SIDE[layer])
+        elif line.startswith("END ") and pin is not None and \
+                line.split()[1] == pin.name:
+            pin = None
+        elif line.startswith("END ") and macro is not None and \
+                line.split()[1] == macro.name:
+            macro = None
+    return macros

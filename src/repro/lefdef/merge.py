@@ -1,0 +1,46 @@
+"""DEF merging: combine the frontside and backside DEFs for extraction.
+
+Section III.C: "we first merged the two DEFs into one DEF.  It contains
+the P&R information of all the frontside and backside layers and is
+used in the accurate dual-sided RC extraction."  Layer names are
+side-qualified (``FM*`` / ``BM*``), so merging is a union of routed
+segments per net plus a consistency check on the component lists.
+"""
+
+from __future__ import annotations
+
+from .def_ import DefDesign
+
+
+def merge_defs(front: DefDesign, back: DefDesign,
+               name: str | None = None) -> DefDesign:
+    """Merge the two per-side DEFs into one dual-sided design view."""
+    front_masters = {c.name: c.master for c in front.components.values()}
+    back_masters = {c.name: c.master for c in back.components.values()}
+    if front_masters != back_masters:
+        only_front = set(front_masters) - set(back_masters)
+        only_back = set(back_masters) - set(front_masters)
+        raise ValueError(
+            "front/back DEF component mismatch: "
+            f"{len(only_front)} only-front, {len(only_back)} only-back"
+        )
+    front_layers = {l for l in front.layers_used() if l.startswith("B")}
+    back_layers = {l for l in back.layers_used() if l.startswith("F")}
+    if front_layers or back_layers:
+        raise ValueError(
+            f"side/layer mismatch: front uses {front_layers}, "
+            f"back uses {back_layers}"
+        )
+
+    merged = DefDesign(
+        name=name or front.name.removesuffix("_front"),
+        die_width_nm=max(front.die_width_nm, back.die_width_nm),
+        die_height_nm=max(front.die_height_nm, back.die_height_nm),
+        components=dict(front.components),
+    )
+    for source in (front, back):
+        for net_name, segments in source.nets.items():
+            merged.nets.setdefault(net_name, []).extend(segments)
+        for net_name, segments in source.special_nets.items():
+            merged.special_nets.setdefault(net_name, []).extend(segments)
+    return merged

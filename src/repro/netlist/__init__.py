@@ -1,0 +1,18 @@
+"""Gate-level netlist data structures, Verilog I/O, equivalence checks."""
+
+from .equiv import EquivalenceReport, check_equivalence
+from .netlist import Instance, Net, Netlist
+from .stats import NetlistStats, netlist_stats
+from .verilog import parse_verilog, write_verilog
+
+__all__ = [
+    "EquivalenceReport",
+    "Instance",
+    "Net",
+    "Netlist",
+    "NetlistStats",
+    "check_equivalence",
+    "netlist_stats",
+    "parse_verilog",
+    "write_verilog",
+]

@@ -1,0 +1,101 @@
+"""Structural Verilog round-trip for gate-level netlists.
+
+Supports the flat, named-port-connection subset that synthesis tools
+emit::
+
+    module top (clk, a, z);
+      input clk;
+      input a;
+      output z;
+      wire n1;
+      INVD1 u0 (.A(a), .ZN(n1));
+      DFFD1 r0 (.D(n1), .CK(clk), .Q(z));
+    endmodule
+
+No behavioural constructs, no busses (bit blasting is the synthesizer's
+job), no escaped identifiers.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .netlist import Netlist
+
+# Identifiers may carry bus indices ("count[3]") and hierarchy slashes
+# ("alu/n12") — generator-produced names kept verbatim in this subset.
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$./]*(?:\[[0-9]+\])?"
+
+
+def write_verilog(netlist: Netlist, clock_nets: set[str] | None = None) -> str:
+    """Serialize ``netlist`` as flat structural Verilog."""
+    inputs = sorted(n.name for n in netlist.primary_inputs)
+    outputs = sorted(n.name for n in netlist.primary_outputs)
+    ports = inputs + [o for o in outputs if o not in inputs]
+    wires = sorted(
+        n.name for n in netlist.nets.values()
+        if not n.is_primary_input and not n.is_primary_output
+    )
+
+    lines = [f"module {netlist.name} ({', '.join(ports)});"]
+    for name in inputs:
+        lines.append(f"  input {name};")
+    for name in outputs:
+        if name not in inputs:
+            lines.append(f"  output {name};")
+    for name in wires:
+        lines.append(f"  wire {name};")
+    lines.append("")
+    for inst in sorted(netlist.instances.values(), key=lambda i: i.name):
+        conns = ", ".join(
+            f".{pin}({net})" for pin, net in sorted(inst.connections.items())
+        )
+        lines.append(f"  {inst.master} {inst.name} ({conns});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def parse_verilog(text: str) -> Netlist:
+    """Parse the structural subset written by :func:`write_verilog`."""
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+    module_match = re.search(
+        rf"module\s+({_IDENT})\s*\((.*?)\)\s*;", text, flags=re.DOTALL
+    )
+    if module_match is None:
+        raise ValueError("no module declaration found")
+    netlist = Netlist(module_match.group(1))
+    body = text[module_match.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise ValueError("missing endmodule")
+    body = body[:end]
+
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+    for stmt in statements:
+        kind_match = re.match(rf"(input|output|wire)\s+(.+)", stmt, flags=re.DOTALL)
+        if kind_match:
+            kind, names = kind_match.groups()
+            for name in re.findall(_IDENT, names):
+                if kind == "input":
+                    netlist.add_net(name, primary_input=True)
+                elif kind == "output":
+                    netlist.add_net(name, primary_output=True)
+                else:
+                    netlist.add_net(name)
+            continue
+
+        inst_match = re.match(
+            rf"({_IDENT})\s+({_IDENT})\s*\((.*)\)\s*$", stmt, flags=re.DOTALL
+        )
+        if inst_match is None:
+            raise ValueError(f"unparseable statement: {stmt[:80]!r}")
+        master, inst_name, conn_text = inst_match.groups()
+        connections = {}
+        for pin, net in re.findall(
+            rf"\.({_IDENT})\s*\(\s*({_IDENT})\s*\)", conn_text
+        ):
+            connections[pin] = net
+        netlist.add_instance(inst_name, master, connections)
+    return netlist

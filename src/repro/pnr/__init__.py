@@ -1,0 +1,71 @@
+"""Physical implementation: floorplan, powerplan, placement, CTS, routing."""
+
+from .cts import ClockTreeReport, synthesize_clock_tree
+from .dualside import NetDecomposition, decompose_nets
+from .floorplan import FloorplanSpec, achieved_utilization, plan_floor
+from .geometry import Die, Point, Rect
+from .irdrop import IrDropReport, analyze_ir_drop
+from .placement import (
+    Placement,
+    PlacementError,
+    global_place,
+    legalize,
+    place,
+)
+from .refine import RefineReport, refine_placement
+from .powerplan import (
+    LEGALIZATION_PACK_LIMIT,
+    TAP_CELL_WIDTH_SITES,
+    PowerPlan,
+    PowerStripe,
+    TapCell,
+    plan_power,
+)
+from .routing import (
+    GlobalRouter,
+    LayerAssignment,
+    NetRoute,
+    NetSpec,
+    RoutingGrid,
+    RoutingResult,
+    assign_layers,
+    build_grid,
+    pin_count_map,
+)
+
+__all__ = [
+    "ClockTreeReport",
+    "Die",
+    "FloorplanSpec",
+    "GlobalRouter",
+    "LEGALIZATION_PACK_LIMIT",
+    "LayerAssignment",
+    "NetDecomposition",
+    "NetRoute",
+    "NetSpec",
+    "Placement",
+    "PlacementError",
+    "Point",
+    "PowerPlan",
+    "PowerStripe",
+    "Rect",
+    "RoutingGrid",
+    "RoutingResult",
+    "TAP_CELL_WIDTH_SITES",
+    "TapCell",
+    "IrDropReport",
+    "achieved_utilization",
+    "RefineReport",
+    "analyze_ir_drop",
+    "refine_placement",
+    "assign_layers",
+    "build_grid",
+    "decompose_nets",
+    "global_place",
+    "legalize",
+    "place",
+    "pin_count_map",
+    "plan_floor",
+    "plan_power",
+    "synthesize_clock_tree",
+]

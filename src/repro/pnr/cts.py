@@ -1,0 +1,111 @@
+"""Clock tree synthesis: buffered recursive bisection (H-tree style).
+
+The paper uses the conventional CTS stage unchanged (Section III.C); we
+implement a standard geometric clustering tree: sinks are recursively
+bisected along the wider dimension until clusters fit a leaf buffer's
+fanout budget, buffers are inserted at cluster centroids, and upper
+levels are buffered the same way until a single root buffer remains.
+The tree is materialized as real instances and nets, so routing, RC
+extraction, STA (skew, insertion delay) and power all see it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cells import Library
+from ..netlist import Netlist
+from .geometry import Point
+from .placement import Placement
+
+LEAF_BUFFER = "CLKBUFD4"
+TRUNK_BUFFER = "CLKBUFD8"
+
+
+@dataclass(frozen=True)
+class ClockTreeReport:
+    """Summary of the synthesized tree."""
+
+    sinks: int
+    buffers: int
+    levels: int
+    root_buffer: str
+
+
+def synthesize_clock_tree(netlist: Netlist, library: Library,
+                          placement: Placement, clock_net: str = "clk",
+                          max_fanout: int = 16) -> ClockTreeReport:
+    """Build the buffered clock tree in place.
+
+    Modifies ``netlist`` (buffer instances, new clock subnets) and
+    ``placement`` (buffer locations at cluster centroids; the flow
+    re-legalizes afterwards).  Returns a summary report.
+    """
+    if clock_net not in netlist.nets:
+        raise KeyError(f"no clock net {clock_net!r}")
+    root_net = netlist.nets[clock_net]
+    sinks = list(root_net.sinks)
+    if not sinks:
+        raise ValueError(f"clock net {clock_net!r} has no sinks")
+
+    counter = {"buf": 0, "net": 0, "levels": 0}
+
+    def fresh_buffer() -> str:
+        counter["buf"] += 1
+        return f"ctsbuf_{counter['buf']}"
+
+    def fresh_net() -> str:
+        counter["net"] += 1
+        return f"ctsnet_{counter['net']}"
+
+    def centroid(points: list[Point]) -> Point:
+        n = len(points)
+        return Point(sum(p.x_nm for p in points) / n,
+                     sum(p.y_nm for p in points) / n)
+
+    def build(cluster: list[tuple[str, str]]) -> tuple[str, Point, int]:
+        """Insert buffers driving ``cluster``; returns (buffer, loc, depth)."""
+        points = [placement.locations[inst] for inst, _pin in cluster]
+        if len(cluster) <= max_fanout:
+            buf_name = fresh_buffer()
+            out_net = fresh_net()
+            loc = centroid(points)
+            netlist.add_instance(buf_name, LEAF_BUFFER,
+                                 {"A": fresh_net(), "Z": out_net})
+            for inst, pin in cluster:
+                netlist.instances[inst].connections[pin] = out_net
+            placement.locations[buf_name] = loc
+            return buf_name, loc, 1
+
+        # Split along the wider dimension at the median.
+        xs = [p.x_nm for p in points]
+        ys = [p.y_nm for p in points]
+        horizontal = (max(xs) - min(xs)) >= (max(ys) - min(ys))
+        key = (lambda item: placement.locations[item[0]].x_nm) if horizontal \
+            else (lambda item: placement.locations[item[0]].y_nm)
+        ordered = sorted(cluster, key=key)
+        half = len(ordered) // 2
+        children = [build(ordered[:half]), build(ordered[half:])]
+
+        buf_name = fresh_buffer()
+        out_net = fresh_net()
+        loc = centroid([c[1] for c in children])
+        netlist.add_instance(buf_name, TRUNK_BUFFER,
+                             {"A": fresh_net(), "Z": out_net})
+        for child_buf, _loc, _depth in children:
+            netlist.instances[child_buf].connections["A"] = out_net
+        placement.locations[buf_name] = loc
+        return buf_name, loc, 1 + max(c[2] for c in children)
+
+    root_buf, _root_loc, depth = build(sinks)
+    counter["levels"] = depth
+    netlist.instances[root_buf].connections["A"] = clock_net
+
+    # Rebind so drivers/sinks reflect the rewired tree.
+    netlist.bind(library)
+    return ClockTreeReport(
+        sinks=len(sinks),
+        buffers=counter["buf"],
+        levels=counter["levels"],
+        root_buffer=root_buf,
+    )

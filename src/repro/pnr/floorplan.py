@@ -1,0 +1,58 @@
+"""Floorplanning: target utilization and aspect ratio to a die outline."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cells import Library
+from ..netlist import Netlist
+from .geometry import Die
+
+
+@dataclass(frozen=True)
+class FloorplanSpec:
+    """User intent for the floorplan stage (Section III.C)."""
+
+    utilization: float = 0.70
+    aspect_ratio: float = 1.0  # height / width
+
+    def __post_init__(self) -> None:
+        if not 0.05 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0.05, 1]")
+        if self.aspect_ratio <= 0:
+            raise ValueError("aspect ratio must be positive")
+
+
+def plan_floor(netlist: Netlist, library: Library,
+               spec: FloorplanSpec = FloorplanSpec()) -> Die:
+    """Size the core so placed cells hit the target utilization.
+
+    The die snaps to whole rows and sites, so the achieved utilization
+    can be marginally below the target; it is never above.
+    """
+    tech = library.tech
+    cell_area = netlist.total_cell_area_nm2(library)
+    if cell_area <= 0:
+        raise ValueError("netlist has no placeable area")
+    core_area = cell_area / spec.utilization
+    height = math.sqrt(core_area * spec.aspect_ratio)
+    width = core_area / height
+
+    rows = max(1, math.ceil(height / tech.cell_height_nm))
+    sites = max(1, math.ceil(width / tech.cpp_nm))
+    # Snapping shrinks utilization slightly; grow sites until we are at
+    # or below the requested utilization.
+    while rows * sites * tech.site_area_nm2 < cell_area / spec.utilization:
+        sites += 1
+    return Die(
+        rows=rows,
+        sites_per_row=sites,
+        site_width_nm=tech.cpp_nm,
+        row_height_nm=tech.cell_height_nm,
+    )
+
+
+def achieved_utilization(netlist: Netlist, library: Library, die: Die) -> float:
+    """Placed-cell area over core area for a given die."""
+    return netlist.total_cell_area_nm2(library) / die.area_nm2

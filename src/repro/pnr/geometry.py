@@ -1,0 +1,95 @@
+"""Shared geometry types for placement and routing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    x_nm: float
+    y_nm: float
+
+    def manhattan(self, other: "Point") -> float:
+        return abs(self.x_nm - other.x_nm) + abs(self.y_nm - other.y_nm)
+
+
+@dataclass(frozen=True)
+class Rect:
+    x0_nm: float
+    y0_nm: float
+    x1_nm: float
+    y1_nm: float
+
+    def __post_init__(self) -> None:
+        if self.x1_nm < self.x0_nm or self.y1_nm < self.y0_nm:
+            raise ValueError("malformed rectangle")
+
+    @property
+    def width_nm(self) -> float:
+        return self.x1_nm - self.x0_nm
+
+    @property
+    def height_nm(self) -> float:
+        return self.y1_nm - self.y0_nm
+
+    @property
+    def area_nm2(self) -> float:
+        return self.width_nm * self.height_nm
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x0_nm + self.x1_nm) / 2, (self.y0_nm + self.y1_nm) / 2)
+
+    def contains(self, p: Point) -> bool:
+        return (self.x0_nm <= p.x_nm <= self.x1_nm
+                and self.y0_nm <= p.y_nm <= self.y1_nm)
+
+    def overlaps(self, other: "Rect") -> bool:
+        return not (other.x0_nm >= self.x1_nm or other.x1_nm <= self.x0_nm
+                    or other.y0_nm >= self.y1_nm or other.y1_nm <= self.y0_nm)
+
+
+@dataclass(frozen=True)
+class Die:
+    """The placeable core region: a grid of rows and sites."""
+
+    rows: int
+    sites_per_row: int
+    site_width_nm: float
+    row_height_nm: float
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.sites_per_row < 1:
+            raise ValueError("die must have at least one row and site")
+
+    @property
+    def width_nm(self) -> float:
+        return self.sites_per_row * self.site_width_nm
+
+    @property
+    def height_nm(self) -> float:
+        return self.rows * self.row_height_nm
+
+    @property
+    def area_nm2(self) -> float:
+        return self.width_nm * self.height_nm
+
+    @property
+    def area_um2(self) -> float:
+        return self.area_nm2 / 1e6
+
+    @property
+    def total_sites(self) -> int:
+        return self.rows * self.sites_per_row
+
+    def row_of(self, y_nm: float) -> int:
+        row = int(y_nm // self.row_height_nm)
+        return min(max(row, 0), self.rows - 1)
+
+    def site_of(self, x_nm: float) -> int:
+        site = int(x_nm // self.site_width_nm)
+        return min(max(site, 0), self.sites_per_row - 1)
+
+    def bounds(self) -> Rect:
+        return Rect(0.0, 0.0, self.width_nm, self.height_nm)

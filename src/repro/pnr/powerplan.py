@@ -1,0 +1,158 @@
+"""Power planning: BSPDN stripes, Power Tap Cells (FFET) and nTSVs (CFET).
+
+Section III.B of the paper:
+
+* the power source sits on the wafer backside only (package bumps);
+* backside VDD M0 rails connect directly to the BSPDN;
+* frontside VSS M0 rails reach the backside through **Power Tap Cells**
+  placed right above (i.e. aligned with) the backside VSS power
+  stripes — these occupy placement sites and cap the achievable
+  utilization (Fig. 8a);
+* the CFET baseline uses BPR + nTSV to the same BSPDN; nTSVs must tap
+  *both* the VDD and the VSS BPRs (the FFET only needs taps for the
+  frontside VSS — its backside VDD rails touch the BSPDN directly), so
+  the CFET loses twice as many placement sites per stripe;
+* VSS and VDD stripes alternate ("interleaved pattern") with a 64 CPP
+  stripe pitch (Section IV), so same-net stripes repeat every 128 CPP;
+* the FFET's backside PDN lives on the highest *backside signal* layers
+  and eats routing capacity there; the CFET's PDN uses BM1/BM2, which
+  are PDN-only layers anyway (Table II footnote c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tech import Side, TechNode
+from .geometry import Die
+
+#: Placement-packing limit of the legalizer: above this the design
+#: cannot be legalized even with no tap cells (whitespace fragmentation).
+LEGALIZATION_PACK_LIMIT = 0.88
+
+#: Width of one Power Tap Cell in placement sites (CPP).
+TAP_CELL_WIDTH_SITES = 2
+
+#: Fraction of routing tracks consumed by the PDN on the layer hosting
+#: the power stripes, and on the layer one below (the mesh direction).
+PDN_TOP_TRACK_FRACTION = 0.15
+PDN_BELOW_TRACK_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class PowerStripe:
+    """One vertical PDN stripe."""
+
+    net: str                    # "VDD" | "VSS"
+    x_nm: float
+    layer: str
+    width_nm: float = 200.0
+
+
+@dataclass(frozen=True)
+class TapCell:
+    """One Power Tap Cell instance (FFET only)."""
+
+    name: str
+    row: int
+    site: int
+    width_sites: int = TAP_CELL_WIDTH_SITES
+
+
+@dataclass
+class PowerPlan:
+    """Result of the powerplan stage."""
+
+    tech: TechNode
+    die: Die
+    stripes: list[PowerStripe] = field(default_factory=list)
+    tap_cells: list[TapCell] = field(default_factory=list)
+    #: Routing-capacity derating per layer name (1.0 = untouched).
+    layer_capacity_factor: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def tap_site_count(self) -> int:
+        return sum(t.width_sites for t in self.tap_cells)
+
+    @property
+    def tap_site_fraction(self) -> float:
+        return self.tap_site_count / self.die.total_sites
+
+    @property
+    def max_legal_utilization(self) -> float:
+        """Highest cell-area utilization the legalizer can absorb.
+
+        Power Tap Cells are fixed before placement, so their sites come
+        straight out of the packing budget — the mechanism that caps the
+        FFET at ~86 % utilization in Fig. 8(a).
+        """
+        return LEGALIZATION_PACK_LIMIT - self.tap_site_fraction
+
+    def blocked_sites(self) -> np.ndarray:
+        """Boolean (rows x sites) array of sites taken by tap cells."""
+        blocked = np.zeros((self.die.rows, self.die.sites_per_row), dtype=bool)
+        for tap in self.tap_cells:
+            end = min(tap.site + tap.width_sites, self.die.sites_per_row)
+            blocked[tap.row, tap.site:end] = True
+        return blocked
+
+    def capacity_factor(self, layer_name: str) -> float:
+        return self.layer_capacity_factor.get(layer_name, 1.0)
+
+
+def plan_power(tech: TechNode, die: Die,
+               stripe_pitch_cpp: int | None = None) -> PowerPlan:
+    """Build the BSPDN and (for FFET) place the Power Tap Cells."""
+    pitch_cpp = stripe_pitch_cpp or tech.rules.power_stripe_pitch_cpp
+    pitch_nm = pitch_cpp * tech.cpp_nm
+
+    plan = PowerPlan(tech=tech, die=die)
+
+    if tech.arch == "ffet":
+        back_signal = tech.routing_layers(Side.BACK)
+        if back_signal:
+            top = back_signal[-1]
+            stripe_layer = top.name
+            plan.layer_capacity_factor[top.name] = 1.0 - PDN_TOP_TRACK_FRACTION
+            if len(back_signal) >= 2:
+                below = back_signal[-2]
+                plan.layer_capacity_factor[below.name] = (
+                    1.0 - PDN_BELOW_TRACK_FRACTION
+                )
+        else:
+            # Frontside-only FFET: PDN uses low backside metals freely.
+            stripe_layer = "BM2"
+    else:
+        stripe_layer = "BM2"  # CFET PDN-only layers; no signal impact
+
+    # Interleaved stripes: VSS at 0, VDD at pitch, VSS at 2*pitch, ...
+    n_stripes = max(1, int(die.width_nm // pitch_nm) + 1)
+    for k in range(n_stripes):
+        net = "VSS" if k % 2 == 0 else "VDD"
+        plan.stripes.append(
+            PowerStripe(net=net, x_nm=k * pitch_nm, layer=stripe_layer)
+        )
+
+    tap_index = 0
+    for stripe in plan.stripes:
+        if tech.arch == "ffet":
+            # One Power Tap Cell per row under every backside VSS
+            # stripe (Fig. 6a); VDD rails reach the BSPDN directly.
+            if stripe.net != "VSS":
+                continue
+            prefix = "ptap"
+        else:
+            # CFET: nTSV landing area per row under *every* stripe —
+            # both BPR polarities need a through-silicon connection
+            # (Fig. 6c), which blocks the sites above it.
+            prefix = "ntsv"
+        site = die.site_of(stripe.x_nm)
+        site = min(site, die.sites_per_row - TAP_CELL_WIDTH_SITES)
+        for row in range(die.rows):
+            plan.tap_cells.append(
+                TapCell(name=f"{prefix}_{tap_index}", row=row, site=site)
+            )
+            tap_index += 1
+    return plan

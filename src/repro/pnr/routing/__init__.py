@@ -1,0 +1,36 @@
+"""Global routing: grids, router, layer assignment."""
+
+from .grid import (
+    DEFAULT_GCELL_TRACKS,
+    GLOBAL_ROUTING_EFFICIENCY,
+    PIN_BLOCK_TRACKS,
+    RoutingGrid,
+    build_grid,
+    pin_count_map,
+)
+from .layers import LayerAssignment, Tier, assign_layers, build_tiers
+from .router import GlobalRouter, NetRoute, NetSpec, RoutingResult
+from .rudy import peak_congestion_estimate, rudy_map
+from .tracks import TrackAssignment, TrackStats, assign_tracks
+
+__all__ = [
+    "DEFAULT_GCELL_TRACKS",
+    "GLOBAL_ROUTING_EFFICIENCY",
+    "GlobalRouter",
+    "LayerAssignment",
+    "NetRoute",
+    "NetSpec",
+    "PIN_BLOCK_TRACKS",
+    "RoutingGrid",
+    "RoutingResult",
+    "Tier",
+    "TrackAssignment",
+    "TrackStats",
+    "assign_layers",
+    "build_grid",
+    "assign_tracks",
+    "build_tiers",
+    "peak_congestion_estimate",
+    "pin_count_map",
+    "rudy_map",
+]

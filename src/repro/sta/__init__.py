@@ -1,0 +1,32 @@
+"""Static timing analysis: setup (max) and hold (min) checks."""
+
+from .corners import CORNERS, Corner, analyze_corners, worst_corner
+from .hold import FAST_CORNER_DERATE, HoldReport, analyze_hold, fix_hold
+from .paths import PathStage, TimingPath, format_path, report_critical_path
+from .rc_scale import scale_extraction
+from .sta import (
+    PRIMARY_INPUT_SLEW_PS,
+    PinTiming,
+    TimingReport,
+    analyze_timing,
+)
+
+__all__ = [
+    "CORNERS",
+    "Corner",
+    "FAST_CORNER_DERATE",
+    "HoldReport",
+    "PRIMARY_INPUT_SLEW_PS",
+    "PathStage",
+    "PinTiming",
+    "TimingReport",
+    "analyze_corners",
+    "analyze_hold",
+    "TimingPath",
+    "analyze_timing",
+    "format_path",
+    "report_critical_path",
+    "scale_extraction",
+    "worst_corner",
+    "fix_hold",
+]

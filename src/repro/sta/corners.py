@@ -1,0 +1,75 @@
+"""Multi-corner timing: PVT derates over the nominal characterization.
+
+The virtual PDK is characterized at the typical corner; slow and fast
+corners are modeled as global derates on cell delays and wire RC — the
+standard single-library multi-corner approximation (an OCV-style global
+factor, not per-cell recharacterization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cells import Library
+from ..extract import Extraction
+from ..netlist import Netlist
+from .rc_scale import scale_extraction
+from .sta import TimingReport, analyze_timing
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One process/voltage/temperature corner."""
+
+    name: str
+    cell_derate: float   # multiplier on cell delays
+    wire_derate: float   # multiplier on wire RC
+
+
+#: Standard corner set: slow (setup signoff), typical, fast (hold).
+CORNERS = (
+    Corner("ss_0p63v_125c", cell_derate=1.18, wire_derate=1.10),
+    Corner("tt_0p70v_25c", cell_derate=1.00, wire_derate=1.00),
+    Corner("ff_0p77v_m40c", cell_derate=0.85, wire_derate=0.93),
+)
+
+
+def analyze_corners(netlist: Netlist, library: Library,
+                    extraction: Extraction, period_ps: float,
+                    clock: str = "clk",
+                    corners: tuple[Corner, ...] = CORNERS
+                    ) -> dict[str, TimingReport]:
+    """Setup analysis at each corner; returns reports keyed by name.
+
+    Cell derates scale the whole arrival (cell delays dominate), wire
+    derates scale the extracted parasitics before the run.
+    """
+    reports: dict[str, TimingReport] = {}
+    for corner in corners:
+        scaled = scale_extraction(extraction, corner.wire_derate)
+        report = analyze_timing(netlist, library, scaled, period_ps, clock)
+        reports[corner.name] = _derate_report(report, corner.cell_derate,
+                                              period_ps)
+    return reports
+
+
+def worst_corner(reports: dict[str, TimingReport]) -> tuple[str, TimingReport]:
+    """The signoff corner: worst slack."""
+    name = min(reports, key=lambda n: reports[n].wns_ps)
+    return name, reports[name]
+
+
+def _derate_report(report: TimingReport, cell_derate: float,
+                   period_ps: float) -> TimingReport:
+    from dataclasses import replace
+
+    arrival = report.worst_arrival_ps * cell_derate
+    wns = period_ps - (period_ps - report.wns_ps) * cell_derate
+    return replace(
+        report,
+        wns_ps=wns,
+        tns_ps=report.tns_ps * cell_derate,
+        worst_arrival_ps=arrival,
+        insertion_delay_ps=report.insertion_delay_ps * cell_derate,
+        clock_skew_ps=report.clock_skew_ps * cell_derate,
+    )

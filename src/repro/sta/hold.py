@@ -1,0 +1,182 @@
+"""Hold-time analysis: min-delay propagation at the fast corner.
+
+Complements the setup analysis in :mod:`repro.sta.sta`.  Arrivals are
+propagated as *minimum* delays (each gate's fastest edge, derated to a
+fast process corner); the hold check at each flop compares the earliest
+data arrival after a clock edge against the capture clock arrival plus
+the library hold time.  Clock-tree skew is the usual hold hazard, and
+the CTS tree built by :mod:`repro.pnr.cts` feeds straight into this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cells import Library
+from ..extract import Extraction
+from ..netlist import Netlist
+from .sta import PRIMARY_INPUT_SLEW_PS
+
+#: Fast-corner delay derate applied to min-path delays.
+FAST_CORNER_DERATE = 0.85
+
+_INF = 1e18
+
+
+@dataclass(frozen=True)
+class HoldReport:
+    """Result of one hold-analysis run."""
+
+    worst_slack_ps: float
+    worst_endpoint: str
+    violations: int
+    endpoint_count: int
+    #: Instances whose D pin violates hold, worst first.
+    violating_endpoints: tuple[str, ...] = ()
+
+    @property
+    def met(self) -> bool:
+        return self.worst_slack_ps >= 0.0
+
+
+def analyze_hold(netlist: Netlist, library: Library, extraction: Extraction,
+                 clock: str = "clk",
+                 input_delay_ps: float | None = None) -> HoldReport:
+    """Min-delay hold check at every flop D pin.
+
+    Primary inputs are assumed to come from registers on the same clock,
+    so their earliest arrival is the clock network latency (or the
+    explicit ``input_delay_ps``) — the standard input-delay constraint.
+    """
+    min_arrival: dict[str, float] = {}
+
+    def wire_delay(net_name: str, inst: str, pin: str) -> float:
+        if net_name not in extraction:
+            return 0.0
+        return extraction[net_name].elmore_to(inst, pin) * FAST_CORNER_DERATE
+
+    def net_load(net_name: str) -> float:
+        return extraction[net_name].total_cap_ff \
+            if net_name in extraction else 0.0
+
+    # Clock arrivals (min corner) through the buffer tree.
+    clock_arrivals: dict[str, float] = {}
+    if clock in netlist.nets:
+        frontier = [(clock, 0.0)]
+        while frontier:
+            net_name, base = frontier.pop()
+            for inst_name, pin_name in netlist.nets[net_name].sinks:
+                inst = netlist.instances[inst_name]
+                master = library[inst.master]
+                at_pin = base + wire_delay(net_name, inst_name, pin_name)
+                if master.is_sequential:
+                    clock_arrivals[inst_name] = at_pin
+                    continue
+                out_net = inst.connections[master.output.name]
+                arc = master.arcs[0]
+                load = net_load(out_net)
+                delay = min(arc.delay(PRIMARY_INPUT_SLEW_PS, load, True),
+                            arc.delay(PRIMARY_INPUT_SLEW_PS, load, False))
+                frontier.append((out_net, at_pin + delay * FAST_CORNER_DERATE))
+
+    pi_arrival = input_delay_ps if input_delay_ps is not None else (
+        max(clock_arrivals.values()) if clock_arrivals else 0.0
+    )
+    for net in netlist.nets.values():
+        if net.is_primary_input:
+            min_arrival[net.name] = 0.0 if net.is_clock else pi_arrival
+
+    # Launch: earliest Q after the launching edge.
+    for inst in netlist.sequential_instances(library):
+        master = library[inst.master]
+        out_net = inst.connections[master.output.name]
+        arc = master.arcs[0]
+        load = net_load(out_net)
+        delay = min(arc.delay(PRIMARY_INPUT_SLEW_PS, load, True),
+                    arc.delay(PRIMARY_INPUT_SLEW_PS, load, False))
+        min_arrival[out_net] = clock_arrivals.get(inst.name, 0.0) + \
+            delay * FAST_CORNER_DERATE
+
+    for inst in netlist.topological_order(library):
+        master = library[inst.master]
+        outs = master.output_pins
+        if not outs:
+            continue
+        out_net = inst.connections[outs[0].name]
+        if master.function in ("TIEHI", "TIELO"):
+            min_arrival.setdefault(out_net, 0.0)
+            continue
+        load = net_load(out_net)
+        best = _INF
+        for arc in master.arcs:
+            in_net = inst.connections.get(arc.from_pin)
+            if in_net is None or in_net not in min_arrival:
+                continue
+            arrival = min_arrival[in_net] + \
+                wire_delay(in_net, inst.name, arc.from_pin)
+            delay = min(arc.delay(PRIMARY_INPUT_SLEW_PS, load, True),
+                        arc.delay(PRIMARY_INPUT_SLEW_PS, load, False))
+            best = min(best, arrival + delay * FAST_CORNER_DERATE)
+        min_arrival[out_net] = best if best < _INF else 0.0
+
+    worst = _INF
+    worst_endpoint = ""
+    violators: list[tuple[float, str]] = []
+    endpoints = 0
+    for inst in netlist.sequential_instances(library):
+        master = library[inst.master]
+        d_net = inst.connections["D"]
+        if d_net not in min_arrival:
+            continue
+        endpoints += 1
+        arrival = min_arrival[d_net] + wire_delay(d_net, inst.name, "D")
+        capture = clock_arrivals.get(inst.name, 0.0)
+        slack = arrival - (capture + master.sequential.hold_ps)
+        if slack < 0:
+            violators.append((slack, inst.name))
+        if slack < worst:
+            worst = slack
+            worst_endpoint = inst.name
+
+    if endpoints == 0:
+        raise ValueError("design has no hold endpoints")
+    violators.sort()
+    return HoldReport(
+        worst_slack_ps=worst,
+        worst_endpoint=worst_endpoint,
+        violations=len(violators),
+        endpoint_count=endpoints,
+        violating_endpoints=tuple(name for _s, name in violators),
+    )
+
+
+def fix_hold(netlist: Netlist, library: Library, extraction: Extraction,
+             clock: str = "clk", max_iterations: int = 10,
+             placement=None) -> HoldReport:
+    """Insert delay buffers until hold closes (or iterations run out).
+
+    The standard post-route hold fix: a minimum-drive buffer is inserted
+    in front of each violating flop's D pin, adding one gate's min
+    delay per iteration.  Mutates the netlist (and, when a placement is
+    given, places each buffer at its flop); returns the final report.
+    """
+    counter = 0
+    report = analyze_hold(netlist, library, extraction, clock)
+    for _iteration in range(max_iterations):
+        if report.met:
+            break
+        for inst_name in report.violating_endpoints:
+            counter += 1
+            inst = netlist.instances[inst_name]
+            old_net = inst.connections["D"]
+            new_net = f"holdnet_{counter}"
+            netlist.add_net(new_net)
+            netlist.add_instance(f"holdbuf_{counter}", "BUFD1",
+                                 {"A": old_net, "Z": new_net})
+            inst.connections["D"] = new_net
+            if placement is not None:
+                placement.locations[f"holdbuf_{counter}"] = \
+                    placement.locations[inst_name]
+        netlist.bind(library)
+        report = analyze_hold(netlist, library, extraction, clock)
+    return report

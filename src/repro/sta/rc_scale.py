@@ -1,0 +1,31 @@
+"""Helper: scale an extraction's wire RC by a corner derate."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..extract import Extraction
+from ..extract.rc import NetParasitics
+
+
+def scale_extraction(extraction: Extraction, factor: float) -> Extraction:
+    """A copy of ``extraction`` with wire R, C and Elmore scaled.
+
+    Pin capacitances belong to the cells, not the wires, so they keep
+    their nominal values; Elmore delays scale quadratically-ish with
+    RC, but the single-factor linear scaling matches how commercial
+    flows apply temperature-derate tables to SPEF.
+    """
+    if factor == 1.0:
+        return extraction
+    scaled = Extraction()
+    for name, p in extraction.nets.items():
+        scaled.nets[name] = replace(
+            p,
+            wire_cap_ff=p.wire_cap_ff * factor,
+            wire_res_kohm=p.wire_res_kohm * factor,
+            sink_elmore_ps={
+                key: value * factor for key, value in p.sink_elmore_ps.items()
+            },
+        )
+    return scaled

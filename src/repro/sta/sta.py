@@ -1,0 +1,295 @@
+"""Graph-based static timing analysis with NLDM + Elmore wire delays.
+
+Single-clock setup analysis, the way the paper's power-performance
+stage uses commercial STA: rise and fall arrivals/slews propagate
+separately through arc unateness (an inverter's rising output is timed
+from its falling input), wire delays come from the extracted Elmore
+values, and setup is checked at every flop D pin and primary output.
+``achieved frequency`` is the frequency at which the worst path just
+closes — the paper's Figs. 9-11 metric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cells import Library, TimingArc
+from ..extract import Extraction
+from ..netlist import Netlist
+
+#: Slew assumed at primary inputs, ps.
+PRIMARY_INPUT_SLEW_PS = 10.0
+#: Wire slew degradation per ps of Elmore delay.
+SLEW_DEGRADATION = 1.8
+
+_NEG = -1e18
+
+
+@dataclass
+class PinTiming:
+    """Rise/fall arrivals and slews at one net (at its driver pin)."""
+
+    arrival_rise_ps: float = _NEG
+    arrival_fall_ps: float = _NEG
+    slew_rise_ps: float = PRIMARY_INPUT_SLEW_PS
+    slew_fall_ps: float = PRIMARY_INPUT_SLEW_PS
+
+    @classmethod
+    def at_time(cls, t_ps: float, slew_ps: float = PRIMARY_INPUT_SLEW_PS):
+        return cls(t_ps, t_ps, slew_ps, slew_ps)
+
+    def arrival(self, rise: bool) -> float:
+        return self.arrival_rise_ps if rise else self.arrival_fall_ps
+
+    def slew(self, rise: bool) -> float:
+        return self.slew_rise_ps if rise else self.slew_fall_ps
+
+    def set_edge(self, rise: bool, arrival: float, slew: float) -> None:
+        if rise:
+            self.arrival_rise_ps = arrival
+            self.slew_rise_ps = slew
+        else:
+            self.arrival_fall_ps = arrival
+            self.slew_fall_ps = slew
+
+    @property
+    def worst_arrival_ps(self) -> float:
+        return max(self.arrival_rise_ps, self.arrival_fall_ps)
+
+    @property
+    def worst_slew_ps(self) -> float:
+        return max(self.slew_rise_ps, self.slew_fall_ps)
+
+    def delayed(self, wire_ps: float) -> "PinTiming":
+        """This timing seen after a wire segment of the given Elmore delay."""
+        extra_slew = SLEW_DEGRADATION * wire_ps
+        return PinTiming(
+            self.arrival_rise_ps + wire_ps if self.arrival_rise_ps > _NEG / 2 else _NEG,
+            self.arrival_fall_ps + wire_ps if self.arrival_fall_ps > _NEG / 2 else _NEG,
+            self.slew_rise_ps + extra_slew,
+            self.slew_fall_ps + extra_slew,
+        )
+
+
+@dataclass
+class TimingReport:
+    """Result of one setup-timing run."""
+
+    period_ps: float
+    wns_ps: float
+    tns_ps: float
+    worst_endpoint: str
+    critical_path: list[str]
+    clock_skew_ps: float
+    insertion_delay_ps: float
+    endpoint_count: int
+    #: Arrival time of the worst data path, ps.
+    worst_arrival_ps: float
+
+    @property
+    def achieved_period_ps(self) -> float:
+        """Smallest period the design would meet, given this run."""
+        return self.period_ps - self.wns_ps
+
+    @property
+    def achieved_frequency_ghz(self) -> float:
+        return 1000.0 / self.achieved_period_ps
+
+    @property
+    def met(self) -> bool:
+        return self.wns_ps >= 0.0
+
+
+def _propagate_arc(arc: TimingArc, pt_in: PinTiming, load_ff: float,
+                   out: PinTiming) -> bool:
+    """Fold one arc's contribution into the output timing.
+
+    Returns True when this arc set a new worst output arrival.
+    """
+    improved = False
+    for rise_out in (True, False):
+        for rise_in in arc.input_edges_for(rise_out):
+            arrival_in = pt_in.arrival(rise_in)
+            if arrival_in < _NEG / 2:
+                continue
+            slew_in = pt_in.slew(rise_in)
+            delay = arc.delay(slew_in, load_ff, rise=rise_out)
+            arrival = arrival_in + delay
+            if arrival > out.arrival(rise_out):
+                out.set_edge(rise_out, arrival,
+                             arc.transition(slew_in, load_ff, rise=rise_out))
+                improved = True
+    return improved
+
+
+def analyze_timing(netlist: Netlist, library: Library, extraction: Extraction,
+                   period_ps: float, clock: str = "clk") -> TimingReport:
+    """Run setup analysis at ``period_ps``; see :class:`TimingReport`."""
+    net_timing: dict[str, PinTiming] = {}
+    net_from: dict[str, tuple[str, str] | None] = {}
+
+    for net in netlist.nets.values():
+        if net.is_primary_input:
+            net_timing[net.name] = PinTiming.at_time(0.0)
+            net_from[net.name] = None
+
+    def input_timing(net_name: str, inst: str, pin: str) -> PinTiming:
+        base = net_timing[net_name]
+        wire = extraction[net_name].elmore_to(inst, pin) \
+            if net_name in extraction else 0.0
+        return base.delayed(wire)
+
+    def net_load(net_name: str) -> float:
+        return extraction[net_name].total_cap_ff if net_name in extraction \
+            else 0.0
+
+    # Clock network first: propagate along clock tree (CLKBUF chains).
+    clock_arrivals: dict[str, float] = {}  # flop instance -> CK arrival
+    if clock in netlist.nets:
+        _propagate_clock(netlist, library, extraction, clock,
+                         net_timing, clock_arrivals)
+
+    # Sequential launch points (CK -> Q).
+    for inst in netlist.sequential_instances(library):
+        master = library[inst.master]
+        out_net = inst.connections[master.output.name]
+        ck_arr = clock_arrivals.get(inst.name, 0.0)
+        load = net_load(out_net)
+        arc = master.arcs[0]
+        out = PinTiming()
+        _propagate_arc(arc, PinTiming.at_time(ck_arr), load, out)
+        net_timing[out_net] = out
+        net_from[out_net] = (inst.name, "CK")
+
+    # Combinational propagation in topological order.
+    for inst in netlist.topological_order(library):
+        master = library[inst.master]
+        out_pins = master.output_pins
+        if not out_pins:
+            continue
+        out_net = inst.connections[out_pins[0].name]
+        if master.function in ("TIEHI", "TIELO"):
+            net_timing.setdefault(out_net, PinTiming.at_time(0.0))
+            net_from.setdefault(out_net, None)
+            continue
+        load = net_load(out_net)
+        out = PinTiming()
+        from_pin = None
+        for arc in master.arcs:
+            in_net = inst.connections.get(arc.from_pin)
+            if in_net is None or in_net not in net_timing:
+                continue
+            pt = input_timing(in_net, inst.name, arc.from_pin)
+            if _propagate_arc(arc, pt, load, out):
+                from_pin = arc.from_pin
+        net_timing[out_net] = out
+        net_from[out_net] = (inst.name, from_pin) if from_pin else None
+
+    # Endpoint checks.
+    wns = float("inf")
+    tns = 0.0
+    worst_endpoint = ""
+    worst_net = ""
+    worst_arrival = 0.0
+    endpoints = 0
+    for inst in netlist.sequential_instances(library):
+        master = library[inst.master]
+        d_net = inst.connections["D"]
+        if d_net not in net_timing:
+            continue
+        endpoints += 1
+        pt = input_timing(d_net, inst.name, "D")
+        required = period_ps + clock_arrivals.get(inst.name, 0.0) \
+            - master.sequential.setup_ps
+        slack = required - pt.worst_arrival_ps
+        tns += min(slack, 0.0)
+        if slack < wns:
+            wns = slack
+            worst_endpoint = inst.name
+            worst_net = d_net
+            worst_arrival = pt.worst_arrival_ps
+    for net in netlist.primary_outputs:
+        if net.name not in net_timing or net.is_primary_input:
+            continue
+        pt = net_timing[net.name]
+        if pt.worst_arrival_ps < _NEG / 2:
+            continue
+        endpoints += 1
+        slack = period_ps - pt.worst_arrival_ps
+        tns += min(slack, 0.0)
+        if slack < wns:
+            wns = slack
+            worst_endpoint = f"PO:{net.name}"
+            worst_net = net.name
+            worst_arrival = pt.worst_arrival_ps
+
+    if endpoints == 0:
+        raise ValueError("design has no timing endpoints")
+
+    path = _trace_path(netlist, net_from, worst_net)
+    skews = list(clock_arrivals.values())
+    return TimingReport(
+        period_ps=period_ps,
+        wns_ps=wns,
+        tns_ps=tns,
+        worst_endpoint=worst_endpoint,
+        critical_path=path,
+        clock_skew_ps=(max(skews) - min(skews)) if skews else 0.0,
+        insertion_delay_ps=max(skews) if skews else 0.0,
+        endpoint_count=endpoints,
+        worst_arrival_ps=worst_arrival,
+    )
+
+
+def _propagate_clock(netlist: Netlist, library: Library,
+                     extraction: Extraction, clock: str,
+                     net_timing: dict[str, PinTiming],
+                     clock_arrivals: dict[str, float]) -> None:
+    """BFS down the clock tree, accumulating buffer and wire delays.
+
+    Flops latch on the rising edge, so the capture arrival is the rise
+    arrival at each CK pin.
+    """
+    frontier = [clock]
+    net_timing.setdefault(clock, PinTiming.at_time(0.0))
+    while frontier:
+        net_name = frontier.pop()
+        base = net_timing[net_name]
+        for inst_name, pin_name in netlist.nets[net_name].sinks:
+            inst = netlist.instances[inst_name]
+            master = library[inst.master]
+            wire = extraction[net_name].elmore_to(inst_name, pin_name) \
+                if net_name in extraction else 0.0
+            at_pin = base.delayed(wire)
+            if master.is_sequential:
+                clock_arrivals[inst_name] = at_pin.arrival(rise=True)
+                continue
+            # A clock buffer: propagate through it.
+            out_net = inst.connections[master.output.name]
+            load = extraction[out_net].total_cap_ff \
+                if out_net in extraction else 0.0
+            out = PinTiming()
+            _propagate_arc(master.arcs[0], at_pin, load, out)
+            net_timing[out_net] = out
+            frontier.append(out_net)
+
+
+def _trace_path(netlist: Netlist, net_from: dict[str, tuple[str, str] | None],
+                end_net: str) -> list[str]:
+    """Walk arrival provenance back to a launch point."""
+    path: list[str] = []
+    net_name = end_net
+    seen = set()
+    while net_name and net_name not in seen:
+        seen.add(net_name)
+        path.append(net_name)
+        source = net_from.get(net_name)
+        if source is None:
+            break
+        inst_name, from_pin = source
+        path.append(f"{inst_name}/{from_pin}")
+        if from_pin == "CK":
+            break
+        net_name = netlist.instances[inst_name].connections.get(from_pin, "")
+    return list(reversed(path))

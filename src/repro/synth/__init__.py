@@ -1,0 +1,28 @@
+"""Synthesis substrate: netlist builder, RISC-V generator, sizing."""
+
+from .builder import NetlistBuilder, master_base
+from .designs import generate_counter, generate_fir_filter, generate_multiplier
+from .riscv import RiscvConfig, generate_riscv_core
+from .opt import OptReport, collapse_inverter_pairs, optimize, propagate_constants, sweep_dead_gates
+from .scan import ScanChainReport, insert_scan_chain
+from .sizing import SizingReport, buffer_high_fanout, size_for_target
+
+__all__ = [
+    "NetlistBuilder",
+    "RiscvConfig",
+    "OptReport",
+    "SizingReport",
+    "buffer_high_fanout",
+    "ScanChainReport",
+    "generate_counter",
+    "generate_fir_filter",
+    "generate_multiplier",
+    "generate_riscv_core",
+    "collapse_inverter_pairs",
+    "insert_scan_chain",
+    "optimize",
+    "propagate_constants",
+    "sweep_dead_gates",
+    "master_base",
+    "size_for_target",
+]

@@ -1,0 +1,93 @@
+"""Small auxiliary benchmark designs besides the RISC-V core."""
+
+from __future__ import annotations
+
+from ..netlist import Netlist
+from .builder import NetlistBuilder
+
+
+def generate_counter(width: int = 16, name: str = "counter") -> Netlist:
+    """A free-running binary counter with an enable input."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    b = NetlistBuilder(name)
+    enable = b.input("en")
+    q = [b.fresh_net(f"q{i}") for i in range(width)]
+    incremented = b.incrementer(q)
+    nxt = b.mux_word(q, incremented, enable)
+    for i in range(width):
+        b.dff(nxt[i], q=q[i])
+    b.outputs(q, "count")
+    return b.netlist
+
+
+def generate_multiplier(width: int = 8, name: str = "multiplier",
+                        registered: bool = True) -> Netlist:
+    """An array multiplier (``width x width -> 2*width``).
+
+    Deep carry chains make this a good stress case for timing-driven
+    sizing and the frequency sweeps.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    b = NetlistBuilder(name)
+    a = b.inputs("a", width)
+    x = b.inputs("x", width)
+    if registered:
+        a = [b.dff(bit) for bit in a]
+        x = [b.dff(bit) for bit in x]
+
+    # Partial products, then row-by-row ripple accumulation.
+    acc = [b.and2(a[0], xj) for xj in x] + [b.tie(False)] * width
+    for i in range(1, width):
+        row = [b.and2(a[i], xj) for xj in x]
+        segment = acc[i:i + width]
+        summed, carry = b.ripple_adder(segment, row)
+        acc[i:i + width] = summed
+        acc[i + width] = carry
+
+    product = acc[: 2 * width]
+    if registered:
+        product = [b.dff(bit) for bit in product]
+    b.outputs(product, "p")
+    return b.netlist
+
+
+def generate_fir_filter(taps: int = 4, width: int = 6,
+                        name: str = "fir") -> Netlist:
+    """A transposed-form FIR filter with programmable coefficients.
+
+    Per tap: an array multiplier (input sample x coefficient) and an
+    accumulating adder into the delay line — a register-rich, datapath-
+    heavy block that exercises CTS and the dual-sided router very
+    differently from the control-heavy RISC-V core.
+    """
+    if taps < 2 or width < 2:
+        raise ValueError("need at least 2 taps and 2-bit samples")
+    b = NetlistBuilder(name)
+    x = [b.dff(bit) for bit in b.inputs("x", width)]
+    coeffs = [b.inputs(f"c{t}", width) for t in range(taps)]
+    acc_width = 2 * width + max(1, (taps - 1).bit_length())
+
+    def multiply(a, c):
+        acc = [b.and2(a[0], cj) for cj in c] + [b.tie(False)] * width
+        for i in range(1, width):
+            row = [b.and2(a[i], cj) for cj in c]
+            summed, carry = b.ripple_adder(acc[i:i + width], row)
+            acc[i:i + width] = summed
+            acc[i + width] = carry
+        return acc[:2 * width]
+
+    def widen(word):
+        pad = [b.tie(False)] * (acc_width - len(word))
+        return list(word) + pad
+
+    # Transposed form: y_t = x*c0 + z1; z_k = x*ck + z_{k+1}.
+    carry_line = widen(multiply(x, coeffs[-1]))
+    carry_line = [b.dff(bit) for bit in carry_line]
+    for t in range(taps - 2, -1, -1):
+        product = widen(multiply(x, coeffs[t]))
+        summed, _ = b.fast_adder(carry_line, product)
+        carry_line = [b.dff(bit) for bit in summed]
+    b.outputs(carry_line, "y")
+    return b.netlist

@@ -1,0 +1,183 @@
+"""Logic optimization passes: the cleanup a synthesis tool runs.
+
+Three classic, function-preserving rewrites:
+
+* **constant propagation** — gates fed by TIEHI/TIELO collapse to
+  constants or simpler gates,
+* **double-inverter collapse** — INV->INV chains short through,
+* **dead-gate sweep** — combinational gates whose outputs reach no
+  flop, primary output or clock pin are removed.
+
+Each pass mutates the netlist and re-binds it; the equivalence checker
+in :mod:`repro.netlist.equiv` is the intended safety net (and is used
+in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cells import Library
+from ..netlist import Netlist
+from .builder import master_base
+
+
+@dataclass(frozen=True)
+class OptReport:
+    """What an optimization run removed or rewired."""
+
+    constants_propagated: int
+    inverter_pairs_collapsed: int
+    dead_gates_removed: int
+
+    @property
+    def total(self) -> int:
+        return (self.constants_propagated + self.inverter_pairs_collapsed
+                + self.dead_gates_removed)
+
+
+def _rewire_sinks(netlist: Netlist, old_net: str, new_net: str) -> None:
+    for inst_name, pin_name in list(netlist.nets[old_net].sinks):
+        netlist.instances[inst_name].connections[pin_name] = new_net
+    old = netlist.nets[old_net]
+    if old.is_primary_output:
+        # Keep the output port alive by re-driving it with a buffer.
+        driver = netlist.nets[new_net]
+        counter = sum(1 for n in netlist.instances if n.startswith("optbuf_"))
+        netlist.add_instance(f"optbuf_{counter}", "BUFD1",
+                             {"A": new_net, "Z": old_net})
+
+
+def propagate_constants(netlist: Netlist, library: Library) -> int:
+    """Simplify gates with constant (TIE-driven) inputs.  One sweep."""
+    changed = 0
+    constant_nets: dict[str, bool] = {}
+    for inst in netlist.instances.values():
+        base = master_base(inst.master)
+        if base == "TIEHI":
+            constant_nets[inst.connections["Z"]] = True
+        elif base == "TIELO":
+            constant_nets[inst.connections["Z"]] = False
+
+    for inst in list(netlist.instances.values()):
+        master = library[inst.master]
+        if master.is_sequential or master.logic_fn is None:
+            continue
+        in_pins = master.input_pins
+        if not in_pins:
+            continue
+        known = {
+            p.name: constant_nets[inst.connections[p.name]]
+            for p in in_pins if inst.connections[p.name] in constant_nets
+        }
+        if not known:
+            continue
+        unknown = [p.name for p in in_pins if p.name not in known]
+        # Evaluate the function over every assignment of the unknown
+        # inputs: a single result means the gate is constant; with one
+        # unknown left, two results mean wire or inverter.
+        results = set()
+        evaluations = []
+        for code in range(1 << len(unknown)):
+            vector = dict(known)
+            vector.update({
+                name: bool((code >> i) & 1)
+                for i, name in enumerate(unknown)
+            })
+            value = bool(master.logic_fn(vector))
+            results.add(value)
+            evaluations.append(value)
+        out_net = inst.connections[master.output.name]
+        if len(results) == 1:
+            value = results.pop()
+            del netlist.instances[inst.name]
+            netlist.add_instance(f"{inst.name}_const",
+                                 "TIEHI" if value else "TIELO",
+                                 {"Z": out_net})
+            constant_nets[out_net] = value
+            changed += 1
+        elif len(unknown) == 1:
+            src = inst.connections[unknown[0]]
+            follows = evaluations == [False, True]
+            inverts = evaluations == [True, False]
+            if follows or inverts:
+                del netlist.instances[inst.name]
+                if follows:
+                    netlist.add_instance(f"{inst.name}_thru", "BUFD1",
+                                         {"A": src, "Z": out_net})
+                else:
+                    netlist.add_instance(f"{inst.name}_inv", "INVD1",
+                                         {"A": src, "ZN": out_net})
+                changed += 1
+    if changed:
+        netlist.bind(library)
+    return changed
+
+
+def collapse_inverter_pairs(netlist: Netlist, library: Library) -> int:
+    """Short INV->INV chains through to the original signal."""
+    changed = 0
+    for inst in list(netlist.instances.values()):
+        if master_base(inst.master) != "INV":
+            continue
+        in_net = inst.connections["A"]
+        driver = netlist.nets[in_net].driver
+        if driver is None:
+            continue
+        upstream = netlist.instances[driver[0]]
+        if master_base(upstream.master) != "INV":
+            continue
+        source = upstream.connections["A"]
+        out_net = inst.connections["ZN"]
+        if netlist.nets[out_net].is_primary_output:
+            continue
+        _rewire_sinks(netlist, out_net, source)
+        del netlist.instances[inst.name]
+        changed += 1
+    if changed:
+        netlist.bind(library)
+    return changed
+
+
+def sweep_dead_gates(netlist: Netlist, library: Library) -> int:
+    """Remove combinational gates with no observable fanout."""
+    removed_total = 0
+    while True:
+        removed = 0
+        for inst in list(netlist.instances.values()):
+            master = library[inst.master]
+            if master.is_sequential:
+                continue
+            outs = master.output_pins
+            if not outs:
+                continue
+            out_net = netlist.nets[inst.connections[outs[0].name]]
+            if out_net.is_primary_output or out_net.sinks:
+                continue
+            del netlist.instances[inst.name]
+            removed += 1
+        if not removed:
+            break
+        removed_total += removed
+        netlist.bind(library)
+    return removed_total
+
+
+def optimize(netlist: Netlist, library: Library,
+             max_passes: int = 4) -> OptReport:
+    """Run all passes to a fixed point (bounded by ``max_passes``)."""
+    constants = inverters = dead = 0
+    for _sweep in range(max_passes):
+        c = propagate_constants(netlist, library)
+        i = collapse_inverter_pairs(netlist, library)
+        d = sweep_dead_gates(netlist, library)
+        constants += c
+        inverters += i
+        dead += d
+        if c + i + d == 0:
+            break
+    return OptReport(
+        constants_propagated=constants,
+        inverter_pairs_collapsed=inverters,
+        dead_gates_removed=dead,
+    )

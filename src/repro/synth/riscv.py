@@ -1,0 +1,229 @@
+"""Structural generator for a single-cycle RV32I core.
+
+The paper's benchmark design is "a 32-bit RISC-V core"; this module
+generates one as a flat gate-level netlist: fetch (PC + adders), decode,
+immediate generation, a register file, an ALU with a barrel shifter,
+branch resolution and a writeback mux.  Instruction and data memories
+stay external (primary inputs/outputs), as is standard for synthesis
+benchmarks.
+
+Simplifications, documented for reproducibility:
+
+* loads/stores move full words (no byte/halfword lanes),
+* no CSRs, FENCE, ECALL/EBREAK (decoded as NOPs),
+* ``xlen`` and ``nregs`` are parameterizable so tests can run scaled-
+  down cores; the paper-scale configuration is ``xlen=32, nregs=32``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..netlist import Netlist
+from .builder import NetlistBuilder
+
+
+@dataclass(frozen=True)
+class RiscvConfig:
+    """Size knobs for the generated core."""
+
+    xlen: int = 32
+    nregs: int = 32
+    name: str = "rv32i_core"
+
+    def __post_init__(self) -> None:
+        if self.xlen < 4 or self.xlen > 64:
+            raise ValueError("xlen must be in [4, 64]")
+        if self.nregs < 2 or self.nregs & (self.nregs - 1):
+            raise ValueError("nregs must be a power of two >= 2")
+
+    @property
+    def reg_bits(self) -> int:
+        return int(math.log2(self.nregs))
+
+    @property
+    def shamt_bits(self) -> int:
+        return max(1, int(math.ceil(math.log2(self.xlen))))
+
+
+# RV32I opcodes (7-bit).
+_OP_LUI = 0b0110111
+_OP_AUIPC = 0b0010111
+_OP_JAL = 0b1101111
+_OP_JALR = 0b1100111
+_OP_BRANCH = 0b1100011
+_OP_LOAD = 0b0000011
+_OP_STORE = 0b0100011
+_OP_IMM = 0b0010011
+_OP_OP = 0b0110011
+
+
+def generate_riscv_core(config: RiscvConfig = RiscvConfig()) -> Netlist:
+    """Generate the gate-level netlist of the single-cycle core."""
+    b = NetlistBuilder(config.name)
+    xlen = config.xlen
+
+    instr = b.inputs("instr", 32)
+    dmem_rdata = b.inputs("dmem_rdata", xlen)
+
+    with b.scope("decode"):
+        opcode = instr[0:7]
+        funct3 = instr[12:15]
+        funct7b5 = instr[30]
+        is_lui = b.equals_const(opcode, _OP_LUI)
+        is_auipc = b.equals_const(opcode, _OP_AUIPC)
+        is_jal = b.equals_const(opcode, _OP_JAL)
+        is_jalr = b.equals_const(opcode, _OP_JALR)
+        is_branch = b.equals_const(opcode, _OP_BRANCH)
+        is_load = b.equals_const(opcode, _OP_LOAD)
+        is_store = b.equals_const(opcode, _OP_STORE)
+        is_op_imm = b.equals_const(opcode, _OP_IMM)
+        is_op = b.equals_const(opcode, _OP_OP)
+
+        writes_rd = b.or_tree(
+            [is_lui, is_auipc, is_jal, is_jalr, is_load, is_op_imm, is_op]
+        )
+
+    with b.scope("imm"):
+        sign = instr[31]
+
+        def sext(bits: list[str]) -> list[str]:
+            bits = bits[:xlen]
+            return bits + [sign] * (xlen - len(bits))
+
+        imm_i = sext(instr[20:31])
+        imm_s = sext(instr[7:12] + instr[25:31])
+        zero = b.tie(False)
+        imm_b = sext([zero] + instr[8:12] + instr[25:31] + [instr[7]])
+        imm_j = sext([zero] + instr[21:31] + [instr[20]] + instr[12:20])
+        # U-type: low 12 bits zero, then instr[12:31]; truncate to xlen.
+        imm_u = ([zero] * 12 + instr[12:32])[:xlen]
+        if len(imm_u) < xlen:
+            imm_u = imm_u + [sign] * (xlen - len(imm_u))
+
+        use_imm_s = is_store
+        use_imm_b = is_branch
+        use_imm_j = is_jal
+        use_imm_u = b.or2(is_lui, is_auipc)
+        imm = imm_i
+        imm = b.mux_word(imm, imm_s, use_imm_s)
+        imm = b.mux_word(imm, imm_b, use_imm_b)
+        imm = b.mux_word(imm, imm_j, use_imm_j)
+        imm = b.mux_word(imm, imm_u, use_imm_u)
+
+    with b.scope("regfile"):
+        rd = instr[7 : 7 + config.reg_bits]
+        rs1 = instr[15 : 15 + config.reg_bits]
+        rs2 = instr[20 : 20 + config.reg_bits]
+
+        write_onehot = b.decoder(rd)
+        zero_word = [b.tie(False) for _ in range(xlen)]
+        # wb_data nets are created later; declare placeholders now.
+        wb_data = [b.fresh_net("wb") for _ in range(xlen)]
+
+        reg_words: list[list[str]] = [zero_word]  # x0 reads as zero
+        for r in range(1, config.nregs):
+            we = b.and2(writes_rd, write_onehot[r])
+            q_nets = [b.fresh_net(f"x{r}_q") for _ in range(xlen)]
+            d_nets = [
+                b.mux2(q_nets[i], wb_data[i], we) for i in range(xlen)
+            ]
+            for i in range(xlen):
+                b.dff(d_nets[i], q=q_nets[i])
+            reg_words.append(q_nets)
+
+        rs1_data = b.mux_tree(reg_words, rs1)
+        rs2_data = b.mux_tree(reg_words, rs2)
+
+    with b.scope("pc"):
+        pc_q = [b.fresh_net(f"pc_q{i}") for i in range(xlen)]
+        pc_plus4 = b.incrementer(pc_q, amount_bit=2)
+
+    with b.scope("alu"):
+        # Operand selection: a = pc for AUIPC, rs1 otherwise; b = imm
+        # unless a register-register op.  Jump/branch targets use a
+        # dedicated adder in the nextpc block.
+        op_a = b.mux_word(rs1_data, pc_q, is_auipc)
+        # Register operand for R-type ops and branch compares; the
+        # immediate otherwise (I-type, loads/stores, LUI/AUIPC).
+        use_rs2 = b.or2(is_op, is_branch)
+        op_b = b.mux_word(imm, rs2_data, use_rs2)
+
+        # Subtract for SUB, SLT(U) and all branch compares.
+        f3 = funct3
+        is_sub = b.and_tree([is_op, funct7b5])
+        is_slt_f3 = b.and2(b.inv(f3[2]), f3[1])  # funct3 = 01x -> SLT/SLTU
+        alu_sub = b.or_tree([is_sub, b.and2(b.or2(is_op, is_op_imm), is_slt_f3),
+                             is_branch])
+
+        b_xor = [b.xor2(bit, alu_sub) for bit in op_b]
+        add_out, carry_out = b.fast_adder(op_a, b_xor, cin=alu_sub)
+
+        # Flags for compares: eq, lt (signed), ltu (unsigned).
+        diff_is_zero = b.is_zero(add_out)
+        a_sign, b_sign = op_a[-1], op_b[-1]
+        same_sign = b.xnor2(a_sign, b_sign)
+        lt_signed = b.mux2(a_sign, add_out[-1], same_sign)
+        ltu = b.inv(carry_out)
+
+        logic_and = [b.and2(x, y) for x, y in zip(op_a, op_b)]
+        logic_or = [b.or2(x, y) for x, y in zip(op_a, op_b)]
+        logic_xor = [b.xor2(x, y) for x, y in zip(op_a, op_b)]
+
+        shamt = op_b[: config.shamt_bits]
+        shift_right = f3[2]                      # SRL/SRA have funct3=101
+        shift_arith = funct7b5
+        shift_out = b.barrel_shifter(rs1_data, shamt, shift_right, shift_arith)
+
+        slt_bit = b.mux2(lt_signed, ltu, f3[0])  # SLTU has funct3=011
+        slt_word = [slt_bit] + [b.tie(False) for _ in range(xlen - 1)]
+
+        # funct3 mux: 000 add/sub, 001 sll, 010 slt, 011 sltu, 100 xor,
+        # 101 srl/sra, 110 or, 111 and.
+        alu_out = b.mux_tree(
+            [add_out, shift_out, slt_word, slt_word,
+             logic_xor, shift_out, logic_or, logic_and],
+            f3,
+        )
+        # Non-OP instructions always use the adder result.
+        is_alu_op = b.or2(is_op, is_op_imm)
+        alu_result = b.mux_word(add_out, alu_out, is_alu_op)
+
+    with b.scope("branch"):
+        # funct3: 000 beq, 001 bne, 100 blt, 101 bge, 110 bltu, 111 bgeu.
+        lt_for_branch = b.mux2(lt_signed, ltu, f3[1])
+        base_cond = b.mux2(diff_is_zero, lt_for_branch, f3[2])
+        cond = b.xor2(base_cond, f3[0])          # odd funct3 inverts
+        take_branch = b.and2(is_branch, cond)
+
+    with b.scope("nextpc"):
+        do_jump = b.or2(is_jal, is_jalr)
+        redirect = b.or2(take_branch, do_jump)
+        # Target adder: pc + imm for branches/JAL, rs1 + imm for JALR.
+        target_base = b.mux_word(pc_q, rs1_data, is_jalr)
+        target, _ = b.fast_adder(target_base, imm)
+        next_pc = b.mux_word(pc_plus4, target, redirect)
+        for i in range(xlen):
+            b.dff(next_pc[i], q=pc_q[i])
+
+    with b.scope("writeback"):
+        use_pc4 = do_jump
+        wb = b.mux_word(alu_result, dmem_rdata, is_load)
+        wb = b.mux_word(wb, imm, is_lui)
+        wb = b.mux_word(wb, pc_plus4, use_pc4)
+        for i in range(xlen):
+            b.cell("BUFD1", A=wb[i], Z=wb_data[i])
+
+    b.outputs(pc_q, "pc")
+    b.outputs(alu_result, "dmem_addr")
+    b.outputs(rs2_data, "dmem_wdata")
+    b.output(is_store, "dmem_we")
+
+    netlist = b.netlist
+    netlist.attributes["config"] = config
+    netlist.attributes["pc_nets"] = list(pc_q)
+    netlist.attributes["regfile_nets"] = {
+        r: list(reg_words[r]) for r in range(1, config.nregs)
+    }
+    return netlist

@@ -1,0 +1,35 @@
+"""Virtual 5 nm technology: layers, stackups, design rules, tech nodes."""
+
+from .layers import Direction, Layer, LayerPurpose, Side, Via
+from .node import DeviceParams, TechNode, make_cfet_node, make_ffet_node
+from .rules import (
+    CPP_NM,
+    MAX_DRV_COUNT,
+    POWER_STRIPE_PITCH_CPP,
+    TABLE_II,
+    TRACK_PITCH_NM,
+    DesignRules,
+    pitch_for,
+)
+from .stackup import Stackup, build_stackup
+
+__all__ = [
+    "CPP_NM",
+    "MAX_DRV_COUNT",
+    "POWER_STRIPE_PITCH_CPP",
+    "TABLE_II",
+    "TRACK_PITCH_NM",
+    "DesignRules",
+    "DeviceParams",
+    "Direction",
+    "Layer",
+    "LayerPurpose",
+    "Side",
+    "Stackup",
+    "TechNode",
+    "Via",
+    "build_stackup",
+    "make_cfet_node",
+    "make_ffet_node",
+    "pitch_for",
+]

@@ -1,0 +1,174 @@
+"""Metal layer and via definitions for the virtual 5 nm node.
+
+The paper's Table II only specifies layer *pitches*; electrical RC
+parameters are derived here from the pitch with standard interconnect
+physics so that narrow layers are resistive and wide top layers are fast:
+
+* wire width ``w = pitch / 2`` (50 % metal density),
+* thickness ``t = aspect_ratio * w``,
+* resistivity with a size-effect term ``rho_eff = rho * (1 + k_size / w)``
+  capturing surface/grain-boundary scattering at narrow line widths,
+* capacitance per unit length from parallel-plate coupling to neighbours
+  plus up/down plates and a fringe constant.
+
+Units used throughout the package: geometry in **nm**, resistance in
+**kOhm**, capacitance in **fF** — so ``R * C`` is directly in **ps**.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+# Physical constants (geometry in nm, capacitance in fF).
+_RHO_CU_OHM_NM = 17.1        # bulk copper resistivity, ohm * nm
+_K_SIZE_NM = 140.0           # size-effect length scale for rho_eff
+_EPS0_FF_PER_NM = 8.854e-6   # vacuum permittivity, fF / nm
+_K_ILD = 2.8                 # low-k inter-layer dielectric constant
+_ASPECT_RATIO = 2.0          # wire thickness / width
+_FRINGE_FF_PER_NM = 4.0e-5   # fringe capacitance floor, fF / nm
+
+
+class Side(enum.Enum):
+    """Which side of the wafer a layer (or pin) lives on."""
+
+    FRONT = "front"
+    BACK = "back"
+
+    @property
+    def opposite(self) -> "Side":
+        return Side.BACK if self is Side.FRONT else Side.FRONT
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class LayerPurpose(enum.Enum):
+    """What a layer may legally carry."""
+
+    SIGNAL = "signal"        # inter-cell signal routing
+    INTRA_CELL = "intra"     # M0: intra-cell routing + pins only
+    POWER = "power"          # PDN only (e.g. CFET BM1/BM2, BPR)
+    POLY = "poly"            # gate poly, not routable
+
+
+class Direction(enum.Enum):
+    """Preferred routing direction of a metal layer."""
+
+    HORIZONTAL = "H"
+    VERTICAL = "V"
+
+    @property
+    def opposite(self) -> "Direction":
+        if self is Direction.HORIZONTAL:
+            return Direction.VERTICAL
+        return Direction.HORIZONTAL
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One metal (or poly) layer of the stackup.
+
+    Attributes
+    ----------
+    name:
+        Canonical name, e.g. ``"FM2"`` or ``"BM0"``.
+    side:
+        Wafer side the layer is on.
+    index:
+        Metal level within its side (0 for M0, 1 for M1, ...).  Poly and
+        BPR use negative indices so they sort below M0.
+    pitch_nm:
+        Minimum line pitch from Table II.
+    direction:
+        Preferred routing direction.
+    purpose:
+        Legal use of the layer.
+    """
+
+    name: str
+    side: Side
+    index: int
+    pitch_nm: float
+    direction: Direction
+    purpose: LayerPurpose = LayerPurpose.SIGNAL
+
+    def __post_init__(self) -> None:
+        if self.pitch_nm <= 0:
+            raise ValueError(f"layer {self.name}: pitch must be positive")
+
+    # -- derived geometry ------------------------------------------------
+    @property
+    def width_nm(self) -> float:
+        """Drawn wire width (half the pitch)."""
+        return self.pitch_nm / 2.0
+
+    @property
+    def spacing_nm(self) -> float:
+        """Line-to-line spacing (half the pitch)."""
+        return self.pitch_nm / 2.0
+
+    @property
+    def thickness_nm(self) -> float:
+        """Metal thickness from a fixed aspect ratio."""
+        return _ASPECT_RATIO * self.width_nm
+
+    # -- derived electrical parameters ------------------------------------
+    @property
+    def resistance_kohm_per_um(self) -> float:
+        """Sheet-derived wire resistance per micron of length."""
+        w = self.width_nm
+        t = self.thickness_nm
+        rho_eff = _RHO_CU_OHM_NM * (1.0 + _K_SIZE_NM / w)
+        r_ohm_per_nm = rho_eff / (w * t)
+        return r_ohm_per_nm * 1000.0 / 1000.0  # ohm/nm -> kohm/um
+
+    @property
+    def capacitance_ff_per_um(self) -> float:
+        """Total (coupling + plate + fringe) capacitance per micron."""
+        w = self.width_nm
+        t = self.thickness_nm
+        s = self.spacing_nm
+        h_ild = self.width_nm  # ILD thickness scales with the layer
+        coupling = 2.0 * t / s
+        plates = 2.0 * w / h_ild
+        c_ff_per_nm = _K_ILD * _EPS0_FF_PER_NM * (coupling + plates)
+        c_ff_per_nm += _FRINGE_FF_PER_NM
+        return c_ff_per_nm * 1000.0
+
+    @property
+    def is_routable(self) -> bool:
+        """True if inter-cell signal routing may use this layer."""
+        return self.purpose is LayerPurpose.SIGNAL
+
+    def key(self) -> tuple[str, int]:
+        """Sort key: side then metal level."""
+        return (self.side.value, self.index)
+
+
+@dataclass(frozen=True)
+class Via:
+    """A via (cut) between two adjacent layers on the same side.
+
+    Via resistance scales inversely with the area of the smaller cut,
+    i.e. with the lower layer's width squared.
+    """
+
+    lower: Layer
+    upper: Layer
+    resistance_kohm: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.lower.side is not self.upper.side:
+            raise ValueError(
+                "via must connect layers on the same wafer side: "
+                f"{self.lower.name} -> {self.upper.name}"
+            )
+        w = min(self.lower.width_nm, self.upper.width_nm)
+        # ~30 ohm at 15 nm cut width, dropping quadratically with size.
+        r_kohm = 0.030 * (15.0 / w) ** 2
+        object.__setattr__(self, "resistance_kohm", r_kohm)
+
+    @property
+    def name(self) -> str:
+        return f"VIA_{self.lower.name}_{self.upper.name}"

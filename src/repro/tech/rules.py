@@ -1,0 +1,87 @@
+"""Design rules of the virtual 5 nm node — the paper's Table II, verbatim.
+
+``TABLE_II`` maps layer name to pitch (nm) per technology.  ``None``
+means the layer does not exist in that technology ("/" in the paper).
+Layers marked PDN-only in the paper (CFET BM1/BM2, BPR) carry that
+restriction via :class:`~repro.tech.layers.LayerPurpose` when the
+stackup is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Table II of the paper.  Keys are layer names, values are
+#: ``(cfet_pitch_nm, ffet_pitch_nm)``; ``None`` = layer absent.
+TABLE_II: dict[str, tuple[float | None, float | None]] = {
+    "FM12": (720.0, 720.0),
+    "FM11": (126.0, 126.0),
+    "FM10": (76.0, 76.0),
+    "FM9": (76.0, 76.0),
+    "FM8": (76.0, 76.0),
+    "FM7": (76.0, 76.0),
+    "FM6": (76.0, 76.0),
+    "FM5": (76.0, 76.0),
+    "FM4": (42.0, 42.0),
+    "FM3": (42.0, 42.0),
+    "FM2": (30.0, 30.0),
+    "FM1": (34.0, 34.0),
+    "FM0": (28.0, 28.0),
+    "Poly": (50.0, 50.0),
+    "BPR": (120.0, None),
+    "BM0": (None, 28.0),
+    "BM1": (3200.0, 34.0),
+    "BM2": (2400.0, 30.0),
+    "BM3": (None, 42.0),
+    "BM4": (None, 42.0),
+    "BM5": (None, 76.0),
+    "BM6": (None, 76.0),
+    "BM7": (None, 76.0),
+    "BM8": (None, 76.0),
+    "BM9": (None, 76.0),
+    "BM10": (None, 76.0),
+    "BM11": (None, 126.0),
+    "BM12": (None, 720.0),  # CFET has no BM12
+}
+
+#: Contacted poly pitch (nm); 1 CPP is the unit of standard-cell width.
+CPP_NM: float = 50.0
+
+#: M2 pitch defines one routing track ("1T = 1 M2 pitch").
+TRACK_PITCH_NM: float = 30.0
+
+#: Power stripe pitch used for the BSPDN in both technologies (Section IV).
+POWER_STRIPE_PITCH_CPP: int = 64
+
+#: A P&R result is valid only if total DRVs stay below this (Section IV).
+MAX_DRV_COUNT: int = 10
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Block-level legality limits shared by both technologies."""
+
+    cpp_nm: float = CPP_NM
+    track_pitch_nm: float = TRACK_PITCH_NM
+    power_stripe_pitch_cpp: int = POWER_STRIPE_PITCH_CPP
+    max_drv_count: int = MAX_DRV_COUNT
+
+    @property
+    def power_stripe_pitch_nm(self) -> float:
+        return self.power_stripe_pitch_cpp * self.cpp_nm
+
+
+def pitch_for(layer_name: str, tech: str) -> float | None:
+    """Pitch of ``layer_name`` in technology ``tech`` ('cfet' or 'ffet').
+
+    Returns ``None`` when the layer does not exist in that technology.
+    """
+    if layer_name not in TABLE_II:
+        raise KeyError(f"unknown layer {layer_name!r}")
+    cfet, ffet = TABLE_II[layer_name]
+    tech = tech.lower()
+    if tech == "cfet":
+        return cfet
+    if tech == "ffet":
+        return ffet
+    raise ValueError(f"unknown technology {tech!r} (expected 'cfet'/'ffet')")

@@ -1,0 +1,47 @@
+"""Shared fixtures: characterized libraries and small designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_library, make_cfet_node, make_ffet_node
+from repro.cells import Library
+from repro.synth import RiscvConfig, generate_counter, generate_multiplier, generate_riscv_core
+
+
+@pytest.fixture(scope="session")
+def ffet_lib() -> Library:
+    return build_library(make_ffet_node())
+
+
+@pytest.fixture(scope="session")
+def cfet_lib() -> Library:
+    return build_library(make_cfet_node())
+
+
+@pytest.fixture(scope="session")
+def ffet_fm12_lib() -> Library:
+    """FFET with frontside-only signal routing (FM12)."""
+    return build_library(make_ffet_node(12, 0))
+
+
+@pytest.fixture()
+def counter8(ffet_lib):
+    netlist = generate_counter(8)
+    netlist.bind(ffet_lib)
+    return netlist
+
+
+@pytest.fixture()
+def mult4(ffet_lib):
+    netlist = generate_multiplier(4)
+    netlist.bind(ffet_lib)
+    return netlist
+
+
+@pytest.fixture()
+def rv_tiny(ffet_lib):
+    """A scaled-down RISC-V core that keeps tests fast."""
+    netlist = generate_riscv_core(RiscvConfig(xlen=8, nregs=8, name="rv_tiny"))
+    netlist.bind(ffet_lib)
+    return netlist

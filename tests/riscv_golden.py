@@ -1,0 +1,247 @@
+"""Golden RV32I model + mini assembler for functional verification.
+
+Matches the generator's documented simplifications: word-wide memory
+accesses only, no CSRs/traps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _mask(xlen: int) -> int:
+    return (1 << xlen) - 1
+
+
+# ---------------------------------------------------------------------------
+# Mini assembler (always emits 32-bit RV32I encodings).
+# ---------------------------------------------------------------------------
+def r_type(funct7, rs2, rs1, funct3, rd, opcode):
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | \
+        (rd << 7) | opcode
+
+
+def i_type(imm, rs1, funct3, rd, opcode):
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | \
+        (rd << 7) | opcode
+
+
+def s_type(imm, rs2, rs1, funct3, opcode=0b0100011):
+    imm &= 0xFFF
+    return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | \
+        ((imm & 0x1F) << 7) | opcode
+
+
+def b_type(imm, rs2, rs1, funct3, opcode=0b1100011):
+    imm &= 0x1FFF
+    return (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25) | \
+        (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | \
+        (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | opcode
+
+
+def u_type(imm, rd, opcode):
+    return (imm & 0xFFFFF000) | (rd << 7) | opcode
+
+
+def j_type(imm, rd, opcode=0b1101111):
+    imm &= 0x1FFFFF
+    return (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21) | \
+        (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12) | \
+        (rd << 7) | opcode
+
+
+def addi(rd, rs1, imm):
+    return i_type(imm, rs1, 0b000, rd, 0b0010011)
+
+
+def slti(rd, rs1, imm):
+    return i_type(imm, rs1, 0b010, rd, 0b0010011)
+
+
+def xori(rd, rs1, imm):
+    return i_type(imm, rs1, 0b100, rd, 0b0010011)
+
+
+def add(rd, rs1, rs2):
+    return r_type(0, rs2, rs1, 0b000, rd, 0b0110011)
+
+
+def sub(rd, rs1, rs2):
+    return r_type(0b0100000, rs2, rs1, 0b000, rd, 0b0110011)
+
+
+def and_(rd, rs1, rs2):
+    return r_type(0, rs2, rs1, 0b111, rd, 0b0110011)
+
+
+def or_(rd, rs1, rs2):
+    return r_type(0, rs2, rs1, 0b110, rd, 0b0110011)
+
+
+def xor(rd, rs1, rs2):
+    return r_type(0, rs2, rs1, 0b100, rd, 0b0110011)
+
+
+def sll(rd, rs1, rs2):
+    return r_type(0, rs2, rs1, 0b001, rd, 0b0110011)
+
+
+def srl(rd, rs1, rs2):
+    return r_type(0, rs2, rs1, 0b101, rd, 0b0110011)
+
+
+def sra(rd, rs1, rs2):
+    return r_type(0b0100000, rs2, rs1, 0b101, rd, 0b0110011)
+
+
+def slt(rd, rs1, rs2):
+    return r_type(0, rs2, rs1, 0b010, rd, 0b0110011)
+
+
+def sltu(rd, rs1, rs2):
+    return r_type(0, rs2, rs1, 0b011, rd, 0b0110011)
+
+
+def lui(rd, imm):
+    return u_type(imm, rd, 0b0110111)
+
+
+def auipc(rd, imm):
+    return u_type(imm, rd, 0b0010111)
+
+
+def beq(rs1, rs2, off):
+    return b_type(off, rs2, rs1, 0b000)
+
+
+def bne(rs1, rs2, off):
+    return b_type(off, rs2, rs1, 0b001)
+
+
+def blt(rs1, rs2, off):
+    return b_type(off, rs2, rs1, 0b100)
+
+
+def bltu(rs1, rs2, off):
+    return b_type(off, rs2, rs1, 0b110)
+
+
+def jal(rd, off):
+    return j_type(off, rd)
+
+
+def jalr(rd, rs1, imm):
+    return i_type(imm, rs1, 0b000, rd, 0b1100111)
+
+
+def lw(rd, rs1, imm):
+    return i_type(imm, rs1, 0b010, rd, 0b0000011)
+
+
+def sw(rs2, rs1, imm):
+    return s_type(imm, rs2, rs1, 0b010)
+
+
+# ---------------------------------------------------------------------------
+# Golden executor.
+# ---------------------------------------------------------------------------
+@dataclass
+class GoldenCpu:
+    """Reference single-cycle executor for the generated core."""
+
+    xlen: int = 32
+    nregs: int = 32
+    pc: int = 0
+    regs: list[int] = field(default_factory=lambda: [0] * 32)
+    memory: dict[int, int] = field(default_factory=dict)
+
+    def _sext(self, value: int, bits: int) -> int:
+        value &= (1 << bits) - 1
+        if value & (1 << (bits - 1)):
+            value -= 1 << bits
+        return value & _mask(self.xlen)
+
+    def _signed(self, value: int) -> int:
+        value &= _mask(self.xlen)
+        if value & (1 << (self.xlen - 1)):
+            value -= 1 << self.xlen
+        return value
+
+    def step(self, instr: int) -> None:
+        m = _mask(self.xlen)
+        opcode = instr & 0x7F
+        rd = (instr >> 7) & (self.nregs - 1)
+        funct3 = (instr >> 12) & 7
+        rs1 = (instr >> 15) & (self.nregs - 1)
+        rs2 = (instr >> 20) & (self.nregs - 1)
+        funct7b5 = (instr >> 30) & 1
+        imm_i = self._sext(instr >> 20, 12)
+        imm_s = self._sext(((instr >> 25) << 5) | ((instr >> 7) & 0x1F), 12)
+        imm_b = self._sext(
+            (((instr >> 31) & 1) << 12) | (((instr >> 7) & 1) << 11)
+            | (((instr >> 25) & 0x3F) << 5) | (((instr >> 8) & 0xF) << 1), 13)
+        imm_u = (instr & 0xFFFFF000) & m
+        imm_j = self._sext(
+            (((instr >> 31) & 1) << 20) | (((instr >> 12) & 0xFF) << 12)
+            | (((instr >> 20) & 1) << 11) | (((instr >> 21) & 0x3FF) << 1), 21)
+
+        a = self.regs[rs1] & m
+        b = self.regs[rs2] & m
+        next_pc = (self.pc + 4) & m
+        result = None
+
+        if opcode == 0b0110111:    # LUI
+            result = imm_u
+        elif opcode == 0b0010111:  # AUIPC
+            result = (self.pc + imm_u) & m
+        elif opcode == 0b1101111:  # JAL
+            result = (self.pc + 4) & m
+            next_pc = (self.pc + imm_j) & m
+        elif opcode == 0b1100111:  # JALR
+            result = (self.pc + 4) & m
+            next_pc = (a + imm_i) & m
+        elif opcode == 0b1100011:  # branches
+            lt = self._signed(a) < self._signed(b)
+            ltu = a < b
+            taken = {
+                0b000: a == b, 0b001: a != b,
+                0b100: lt, 0b101: not lt,
+                0b110: ltu, 0b111: not ltu,
+            }[funct3]
+            if taken:
+                next_pc = (self.pc + imm_b) & m
+        elif opcode == 0b0000011:  # LW (word only)
+            result = self.memory.get((a + imm_i) & m, 0) & m
+        elif opcode == 0b0100011:  # SW
+            self.memory[(a + imm_s) & m] = b
+        elif opcode in (0b0010011, 0b0110011):  # OP-IMM / OP
+            is_reg = opcode == 0b0110011
+            operand = b if is_reg else imm_i
+            shamt_bits = max(1, (self.xlen - 1).bit_length())
+            shamt = operand & ((1 << shamt_bits) - 1)
+            if funct3 == 0b000:
+                if is_reg and funct7b5:
+                    result = (a - operand) & m
+                else:
+                    result = (a + operand) & m
+            elif funct3 == 0b001:
+                result = (a << shamt) & m
+            elif funct3 == 0b010:
+                result = int(self._signed(a) < self._signed(operand & m))
+            elif funct3 == 0b011:
+                result = int(a < (operand & m))
+            elif funct3 == 0b100:
+                result = (a ^ operand) & m
+            elif funct3 == 0b101:
+                if funct7b5:
+                    result = (self._signed(a) >> shamt) & m
+                else:
+                    result = (a >> shamt) & m
+            elif funct3 == 0b110:
+                result = (a | operand) & m
+            else:
+                result = (a & operand) & m
+
+        if result is not None and rd != 0:
+            self.regs[rd] = result & m
+        self.pc = next_pc

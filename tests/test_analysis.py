@@ -1,0 +1,71 @@
+"""Statistics helpers: confidence ellipses, Pareto fronts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import confidence_ellipse, pareto_front, relative_diff
+
+
+class TestConfidenceEllipse:
+    def test_centered_on_mean(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [10.0, 12.0, 9.0, 13.0]
+        e = confidence_ellipse(xs, ys)
+        assert e.center_x == pytest.approx(np.mean(xs))
+        assert e.center_y == pytest.approx(np.mean(ys))
+
+    def test_contains_center(self):
+        e = confidence_ellipse([0, 1, 2, 3], [0, 1, 0, 1])
+        assert e.contains(e.center_x, e.center_y)
+
+    def test_higher_confidence_larger(self):
+        xs = list(range(10))
+        ys = [x * 0.5 + (x % 3) for x in xs]
+        e50 = confidence_ellipse(xs, ys, 0.50)
+        e95 = confidence_ellipse(xs, ys, 0.95)
+        assert e95.area > e50.area
+
+    def test_wider_spread_larger_ellipse(self):
+        tight = confidence_ellipse([0, 0.1, 0.2, 0.3], [0, 0.1, 0, 0.1])
+        wide = confidence_ellipse([0, 1, 2, 3], [0, 1, 0, 1])
+        assert wide.area > tight.area
+
+    def test_orientation_follows_correlation(self):
+        xs = np.linspace(0, 10, 20)
+        ys = 2 * xs + np.cos(xs)  # strongly positively correlated
+        e = confidence_ellipse(xs, ys)
+        assert 0 < e.angle_rad < math.pi / 2 or \
+            -math.pi < e.angle_rad < -math.pi / 2
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_ellipse([1, 2], [1, 2])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_ellipse([1, 2, 3], [1, 2, 3], confidence=1.5)
+
+    def test_coverage_roughly_matches_level(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=400)
+        ys = rng.normal(size=400)
+        e = confidence_ellipse(xs, ys, 0.50)
+        covered = sum(e.contains(x, y) for x, y in zip(xs, ys)) / 400
+        assert 0.40 < covered < 0.60
+
+
+class TestParetoAndDiff:
+    def test_relative_diff(self):
+        assert relative_diff(110, 100) == pytest.approx(0.10)
+        assert relative_diff(5, 0) == 0.0
+
+    def test_pareto_front(self):
+        points = [(1.0, 1.0), (2.0, 2.0), (2.0, 0.5), (0.5, 0.4)]
+        front = pareto_front(points)  # maximize x, minimize y
+        assert (2.0, 0.5) in front
+        assert (1.0, 1.0) not in front  # dominated by (2.0, 0.5)
+
+    def test_pareto_single_point(self):
+        assert pareto_front([(1.0, 1.0)]) == [(1.0, 1.0)]

@@ -1,0 +1,76 @@
+"""Artifact export tests: the full hand-off file set round-trips."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import FlowConfig, run_flow, save_artifacts
+from repro.lefdef import parse_def, parse_lef
+from repro.extract import parse_spef
+from repro.netlist import parse_verilog
+from repro.synth import generate_multiplier
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    config = FlowConfig(arch="ffet", utilization=0.6,
+                        backside_pin_fraction=0.5)
+    artifacts = run_flow(lambda: generate_multiplier(5), config,
+                         return_artifacts=True)
+    directory = tmp_path_factory.mktemp("artifacts")
+    files = save_artifacts(artifacts, str(directory))
+    return artifacts, directory, files
+
+
+class TestSaveArtifacts:
+    def test_all_files_written(self, saved):
+        _artifacts, directory, files = saved
+        names = {os.path.basename(f) for f in files}
+        assert names == {
+            "multiplier.lib", "multiplier.lef", "multiplier.v",
+            "multiplier_front.def", "multiplier_back.def",
+            "multiplier_merged.def", "multiplier.spef",
+            "multiplier_result.json", "multiplier_report.txt",
+        }
+        assert all(os.path.getsize(f) > 0 for f in files)
+
+    def test_lef_parses(self, saved):
+        artifacts, directory, _files = saved
+        macros = parse_lef((directory / "multiplier.lef").read_text())
+        assert set(macros) == set(artifacts.library.masters)
+
+    def test_defs_parse_and_merge_consistent(self, saved):
+        artifacts, directory, _files = saved
+        front = parse_def((directory / "multiplier_front.def").read_text())
+        back = parse_def((directory / "multiplier_back.def").read_text())
+        merged = parse_def((directory / "multiplier_merged.def").read_text())
+        assert set(front.components) == set(back.components) == \
+            set(merged.components)
+        # Merged nets carry the union of both sides' wirelength.
+        assert merged.total_wirelength_nm == pytest.approx(
+            front.total_wirelength_nm + back.total_wirelength_nm, rel=1e-6)
+
+    def test_verilog_parses(self, saved):
+        artifacts, directory, _files = saved
+        netlist = parse_verilog((directory / "multiplier.v").read_text())
+        assert len(netlist.instances) == len(artifacts.netlist.instances)
+
+    def test_spef_matches_extraction(self, saved):
+        artifacts, directory, _files = saved
+        nets = parse_spef((directory / "multiplier.spef").read_text())
+        for name, spef_net in list(nets.items())[:20]:
+            assert spef_net.total_cap_ff == pytest.approx(
+                artifacts.extraction[name].total_cap_ff, abs=1e-4)
+
+    def test_result_json(self, saved):
+        artifacts, directory, _files = saved
+        data = json.loads((directory / "multiplier_result.json").read_text())
+        assert data[0]["valid"] == artifacts.result.valid
+
+    def test_report_contains_sections(self, saved):
+        _artifacts, directory, _files = saved
+        text = (directory / "multiplier_report.txt").read_text()
+        assert "congestion (front):" in text
+        assert "congestion (back):" in text
+        assert "endpoint:" in text

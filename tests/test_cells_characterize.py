@@ -1,0 +1,93 @@
+"""Characterizer tests: arcs, power, sequential data, Table I deltas."""
+
+import pytest
+
+from repro.cells import TABLE_I_CELLS, cell_kpis, library_kpi_diff
+from repro.tech import Side
+
+
+class TestCharacterizedCells:
+    def test_all_cells_have_arcs(self, ffet_lib):
+        for master in ffet_lib:
+            if master.function in ("TIEHI", "TIELO"):
+                assert master.arcs == []
+            else:
+                assert master.arcs, master.name
+
+    def test_all_cells_have_power(self, ffet_lib):
+        for master in ffet_lib:
+            assert master.power is not None, master.name
+            assert master.power.leakage_nw > 0
+
+    def test_dff_has_only_clock_arc(self, ffet_lib):
+        dff = ffet_lib["DFFD1"]
+        assert [a.from_pin for a in dff.arcs] == ["CK"]
+        assert dff.sequential is not None
+
+    def test_input_caps_scale_with_drive(self, ffet_lib):
+        assert ffet_lib["INVD4"].pin("A").cap_ff > ffet_lib["INVD1"].pin("A").cap_ff
+
+    def test_ffet_outputs_dual_sided(self, ffet_lib):
+        for master in ffet_lib:
+            for pin in master.output_pins:
+                assert pin.on_side(Side.FRONT) and pin.on_side(Side.BACK), \
+                    master.name
+
+    def test_cfet_outputs_front_only(self, cfet_lib):
+        for master in cfet_lib:
+            for pin in master.output_pins:
+                assert pin.sides == frozenset({Side.FRONT}), master.name
+
+    def test_buffer_two_stage_slower_than_inverter(self, ffet_lib):
+        inv = ffet_lib["INVD1"].arcs[0]
+        buf = ffet_lib["BUFD1"].arcs[0]
+        assert buf.worst_delay(10.0, 2.0) > inv.worst_delay(10.0, 2.0)
+
+
+class TestTableIDeltas:
+    """The Table I signature must hold qualitatively."""
+
+    @pytest.fixture(scope="class")
+    def diffs(self, ffet_lib, cfet_lib):
+        return library_kpi_diff(ffet_lib, cfet_lib)
+
+    def test_all_table_cells_covered(self, diffs):
+        assert set(diffs) == set(TABLE_I_CELLS)
+
+    def test_leakage_identical(self, diffs):
+        for cell in TABLE_I_CELLS:
+            assert diffs[cell]["leakage_power"] == pytest.approx(0.0)
+
+    def test_inv_transition_power_roughly_flat(self, diffs):
+        # Paper: +0.3 / +0.3 / +0.2 %; the Drain Merge offsets savings.
+        for cell in ("INVD1", "INVD2", "INVD4"):
+            assert -0.01 < diffs[cell]["transition_power"] < 0.03
+
+    def test_buf_transition_power_improves(self, diffs):
+        # Paper: -3.0 / -10.9 / -11.8 %.
+        for cell in ("BUFD1", "BUFD2", "BUFD4"):
+            assert diffs[cell]["transition_power"] < 0.0
+
+    def test_buf_power_gain_grows_with_drive(self, diffs):
+        assert diffs["BUFD4"]["transition_power"] < \
+            diffs["BUFD2"]["transition_power"] < \
+            diffs["BUFD1"]["transition_power"]
+
+    def test_timing_improves_everywhere(self, diffs):
+        for cell in TABLE_I_CELLS:
+            assert diffs[cell]["fall_timing"] < 0.0
+            assert diffs[cell]["rise_timing"] < 0.0
+
+    def test_fall_improves_more_than_rise(self, diffs):
+        # The FFET rise path keeps the Drain Merge penalty (backside p).
+        for cell in TABLE_I_CELLS:
+            assert diffs[cell]["fall_timing"] < diffs[cell]["rise_timing"]
+
+    def test_timing_gain_grows_with_drive(self, diffs):
+        assert diffs["INVD4"]["fall_timing"] < diffs["INVD1"]["fall_timing"]
+        assert diffs["BUFD4"]["fall_timing"] < diffs["BUFD1"]["fall_timing"]
+
+    def test_kpis_positive(self, ffet_lib):
+        kpis = cell_kpis(ffet_lib, "INVD1")
+        assert kpis.transition_power > 0
+        assert kpis.rise_timing > 0

@@ -1,0 +1,81 @@
+"""Library container and Fig. 4 cell-area comparison tests."""
+
+import pytest
+
+from repro.cells import cell_area_table
+from repro.tech import Side
+
+
+class TestLibraryQueries:
+    def test_lookup_by_name(self, ffet_lib):
+        assert ffet_lib["INVD1"].function == "INV"
+
+    def test_missing_cell(self, ffet_lib):
+        with pytest.raises(KeyError):
+            ffet_lib["INVD99"]
+
+    def test_cells_of_sorted_by_drive(self, ffet_lib):
+        drives = [m.drive for m in ffet_lib.cells_of("INV")]
+        assert drives == sorted(drives) == [1, 2, 4, 8]
+
+    def test_cell_by_function_and_drive(self, ffet_lib):
+        assert ffet_lib.cell("NAND2", 2).name == "NAND2D2"
+
+    def test_strongest(self, ffet_lib):
+        assert ffet_lib.strongest("BUF").name == "BUFD8"
+
+    def test_next_drive_up(self, ffet_lib):
+        assert ffet_lib.next_drive_up(ffet_lib["INVD2"]).name == "INVD4"
+        assert ffet_lib.next_drive_up(ffet_lib["INVD8"]) is None
+
+    def test_functions(self, ffet_lib):
+        fns = ffet_lib.functions()
+        assert {"INV", "BUF", "NAND2", "DFF", "MUX2"} <= fns
+
+    def test_duplicate_add_rejected(self, ffet_lib):
+        with pytest.raises(ValueError):
+            ffet_lib.add(ffet_lib["INVD1"])
+
+
+class TestFig4CellAreas:
+    """Fig. 4: FFET vs CFET standard-cell areas."""
+
+    @pytest.fixture(scope="class")
+    def table(self, ffet_lib, cfet_lib):
+        return {r["cell"]: r for r in cell_area_table(ffet_lib, cfet_lib)}
+
+    def test_most_cells_save_12_5_percent(self, table):
+        for cell in ("INVD1", "BUFD2", "NAND2D1", "NOR2D1", "XOR2D1"):
+            assert table[cell]["area_diff"] == pytest.approx(-0.125)
+
+    def test_split_gate_cells_save_more(self, table):
+        # MUX/DFF benefit from the Split Gate (Fig. 3).
+        assert table["MUX2D1"]["area_diff"] < -0.2
+        assert table["DFFD1"]["area_diff"] < -0.2
+
+    def test_aoi22_wastes_area(self, table):
+        # Extra Drain Merge erodes the height gain (Section II.B).
+        assert table["AOI22D1"]["area_diff"] > -0.05
+        assert table["OAI22D1"]["area_diff"] > -0.05
+
+    def test_average_saving_near_paper(self, table):
+        mean = sum(r["area_diff"] for r in table.values()) / len(table)
+        assert -0.20 < mean < -0.10
+
+    def test_table_covers_both_libraries(self, table, ffet_lib, cfet_lib):
+        base_ffet = {m.name for m in ffet_lib if m.base_name is None}
+        base_cfet = {m.name for m in cfet_lib if m.base_name is None}
+        assert set(table) == base_ffet & base_cfet
+
+
+class TestPinDensity:
+    def test_ffet_backside_has_output_pins(self, ffet_lib):
+        inv = ffet_lib["INVD1"]
+        assert inv.pin_count_on(Side.BACK) == 1  # the dual-sided output
+        assert inv.pin_count_on(Side.FRONT) == 2  # input + output
+
+    def test_mean_pin_density_positive(self, ffet_lib):
+        assert ffet_lib.mean_pin_density(Side.FRONT) > 0
+
+    def test_backside_fraction_initially_zero(self, ffet_lib):
+        assert ffet_lib.backside_input_fraction() == 0.0

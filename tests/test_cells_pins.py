@@ -1,0 +1,53 @@
+"""Pin model tests, including dual-sided constructs."""
+
+import pytest
+
+from repro.cells import Pin, PinDirection, dual_pin, front_pin
+from repro.tech import Side
+
+
+class TestPinBasics:
+    def test_front_pin(self):
+        pin = front_pin("A", PinDirection.INPUT, cap_ff=0.2)
+        assert pin.is_input and not pin.is_output
+        assert pin.side is Side.FRONT
+        assert pin.cap_ff == 0.2
+
+    def test_dual_pin(self):
+        pin = dual_pin("ZN", PinDirection.OUTPUT)
+        assert pin.is_dual_sided
+        assert pin.on_side(Side.FRONT) and pin.on_side(Side.BACK)
+
+    def test_dual_pin_has_no_unique_side(self):
+        with pytest.raises(ValueError):
+            _ = dual_pin("ZN", PinDirection.OUTPUT).side
+
+    def test_clock_is_input(self):
+        pin = front_pin("CK", PinDirection.CLOCK)
+        assert pin.is_clock and pin.is_input
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(ValueError):
+            Pin("A", PinDirection.INPUT, frozenset())
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Pin("A", PinDirection.INPUT, frozenset({Side.FRONT}), cap_ff=-1.0)
+
+
+class TestPinMoves:
+    def test_moved_to_back(self):
+        pin = front_pin("A", PinDirection.INPUT, cap_ff=0.3)
+        moved = pin.moved_to(Side.BACK)
+        assert moved.side is Side.BACK
+        assert moved.cap_ff == 0.3          # electrical data preserved
+        assert pin.side is Side.FRONT       # original untouched
+
+    def test_widened(self):
+        pin = front_pin("A", PinDirection.INPUT)
+        wide = pin.widened()
+        assert wide.is_dual_sided
+
+    def test_move_is_idempotent(self):
+        pin = front_pin("A", PinDirection.INPUT)
+        assert pin.moved_to(Side.FRONT).sides == pin.sides

@@ -1,0 +1,92 @@
+"""Input-pin redistribution (FP_x BP_y) tests."""
+
+import pytest
+
+from repro.cells import (
+    parse_pin_density_label,
+    pin_density_label,
+    redistribute_input_pins,
+    single_sided_output_library,
+    widen_input_pins,
+)
+from repro.tech import Side
+
+
+class TestLabels:
+    def test_format(self):
+        assert pin_density_label(0.3) == "FP0.7BP0.3"
+        assert pin_density_label(0.04) == "FP0.96BP0.04"
+
+    def test_parse_roundtrip(self):
+        for frac in (0.04, 0.16, 0.3, 0.4, 0.5):
+            assert parse_pin_density_label(pin_density_label(frac)) == \
+                pytest.approx(frac)
+
+    def test_parse_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            parse_pin_density_label("FP0.7BP0.4")  # doesn't sum to 1
+        with pytest.raises(ValueError):
+            parse_pin_density_label("XP0.7BP0.3")
+
+
+class TestRedistribution:
+    @pytest.mark.parametrize("fraction", [0.0, 0.04, 0.3, 0.5, 1.0])
+    def test_achieved_fraction_close(self, ffet_lib, fraction):
+        lib = redistribute_input_pins(ffet_lib, fraction, seed=1)
+        achieved = lib.backside_input_fraction()
+        assert achieved == pytest.approx(fraction, abs=0.02)
+
+    def test_deterministic(self, ffet_lib):
+        a = redistribute_input_pins(ffet_lib, 0.3, seed=7)
+        b = redistribute_input_pins(ffet_lib, 0.3, seed=7)
+        for name in a.masters:
+            for pin_name, pin in a[name].pins.items():
+                assert pin.sides == b[name].pins[pin_name].sides
+
+    def test_seed_changes_assignment(self, ffet_lib):
+        a = redistribute_input_pins(ffet_lib, 0.5, seed=0)
+        b = redistribute_input_pins(ffet_lib, 0.5, seed=1)
+        differs = any(
+            a[name].pins[p].sides != b[name].pins[p].sides
+            for name in a.masters for p in a[name].pins
+        )
+        assert differs
+
+    def test_outputs_untouched(self, ffet_lib):
+        lib = redistribute_input_pins(ffet_lib, 0.5)
+        for master in lib:
+            for pin in master.output_pins:
+                assert pin.is_dual_sided
+
+    def test_timing_shared_with_base(self, ffet_lib):
+        # Section IV: characteristics identical across pin configs.
+        lib = redistribute_input_pins(ffet_lib, 0.5)
+        assert lib["INVD1"].arcs is ffet_lib["INVD1"].arcs
+
+    def test_cfet_rejected(self, cfet_lib):
+        with pytest.raises(ValueError):
+            redistribute_input_pins(cfet_lib, 0.3)
+
+    def test_bad_fraction_rejected(self, ffet_lib):
+        with pytest.raises(ValueError):
+            redistribute_input_pins(ffet_lib, 1.5)
+
+
+class TestAblationLibraries:
+    def test_widen_doubles_input_pin_shapes(self, ffet_lib):
+        wide = widen_input_pins(ffet_lib)
+        nand = wide["NAND2D1"]
+        assert all(p.is_dual_sided for p in nand.input_pins)
+        # Pin density rises on both sides vs the base library.
+        assert nand.pin_density(Side.BACK) > \
+            ffet_lib["NAND2D1"].pin_density(Side.BACK)
+
+    def test_widen_rejects_cfet(self, cfet_lib):
+        with pytest.raises(ValueError):
+            widen_input_pins(cfet_lib)
+
+    def test_single_sided_outputs(self, ffet_lib):
+        lib = single_sided_output_library(ffet_lib)
+        assert lib["INVD1"].output.sides == frozenset({Side.FRONT})
+        # The BRIDGE via-through cell keeps a dual-sided output.
+        assert lib["BRIDGE"].output.is_dual_sided

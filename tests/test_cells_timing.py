@@ -1,0 +1,89 @@
+"""NLDM lookup table and timing arc tests."""
+
+import numpy as np
+import pytest
+
+from repro.cells import LookupTable, SequentialTiming
+
+
+def linear_table():
+    return LookupTable.from_function(
+        lambda s, c: 2.0 * s + 3.0 * c,
+        slews_ps=(1.0, 10.0, 100.0),
+        loads_ff=(1.0, 5.0, 25.0),
+    )
+
+
+class TestLookupTable:
+    def test_exact_grid_points(self):
+        table = linear_table()
+        assert table(10.0, 5.0) == pytest.approx(2 * 10 + 3 * 5)
+
+    def test_bilinear_is_exact_for_linear_functions(self):
+        table = linear_table()
+        assert table(5.5, 3.0) == pytest.approx(2 * 5.5 + 3 * 3.0)
+
+    def test_clamps_below_grid(self):
+        table = linear_table()
+        assert table(0.01, 0.01) == pytest.approx(table(1.0, 1.0))
+
+    def test_clamps_above_grid(self):
+        table = linear_table()
+        assert table(1e6, 1e6) == pytest.approx(table(100.0, 25.0))
+
+    def test_mean(self):
+        table = LookupTable(
+            np.array([1.0, 2.0]), np.array([1.0, 2.0]),
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+        )
+        assert table.mean() == pytest.approx(2.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTable(np.array([1.0, 2.0]), np.array([1.0]),
+                        np.zeros((2, 2)))
+
+    def test_non_monotone_axis_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTable(np.array([2.0, 1.0]), np.array([1.0, 2.0]),
+                        np.zeros((2, 2)))
+
+
+class TestArcsFromLibrary:
+    def test_delay_increases_with_load(self, ffet_lib):
+        arc = ffet_lib["INVD1"].arcs[0]
+        assert arc.delay(10.0, 10.0, rise=True) > arc.delay(10.0, 1.0, rise=True)
+
+    def test_delay_increases_with_slew(self, ffet_lib):
+        arc = ffet_lib["INVD1"].arcs[0]
+        assert arc.delay(50.0, 5.0, rise=True) > arc.delay(5.0, 5.0, rise=True)
+
+    def test_stronger_drive_is_faster(self, ffet_lib):
+        d1 = ffet_lib["INVD1"].arcs[0]
+        d4 = ffet_lib["INVD4"].arcs[0]
+        assert d4.delay(10.0, 10.0, rise=True) < d1.delay(10.0, 10.0, rise=True)
+
+    def test_rise_slower_than_fall(self, ffet_lib):
+        # p-mobility deficit makes rise the slow edge.
+        arc = ffet_lib["INVD1"].arcs[0]
+        assert arc.delay(10.0, 5.0, rise=True) > arc.delay(10.0, 5.0, rise=False)
+
+    def test_worst_delay(self, ffet_lib):
+        arc = ffet_lib["INVD1"].arcs[0]
+        worst = arc.worst_delay(10.0, 5.0)
+        assert worst == max(arc.delay(10.0, 5.0, True), arc.delay(10.0, 5.0, False))
+
+    def test_transitions_positive(self, ffet_lib):
+        arc = ffet_lib["NAND2D1"].arcs[0]
+        assert arc.transition(10.0, 5.0, rise=True) > 0
+
+
+class TestSequentialTiming:
+    def test_setup_positive(self, ffet_lib):
+        seq = ffet_lib["DFFD1"].sequential
+        assert seq is not None
+        assert seq.setup_ps > 0
+
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialTiming(setup_ps=-1.0, hold_ps=0.0)

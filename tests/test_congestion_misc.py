@@ -1,0 +1,98 @@
+"""Coverage for congestion derates, routing-result queries and misc APIs."""
+
+import numpy as np
+import pytest
+
+from repro.extract import congestion_derates
+from repro.pnr.routing.grid import RoutingGrid
+from repro.pnr.routing.router import GlobalRouter, NetSpec
+from repro.tech import Side, make_ffet_node
+
+
+def routed(cap=4.0, n_parallel=3):
+    tech = make_ffet_node()
+    grid = RoutingGrid(side=Side.FRONT, cols=8, rows=8, gcell_nm=480.0,
+                       layers=tech.routing_layers(Side.FRONT))
+    grid.cap_h = np.full((8, 7), cap)
+    grid.cap_v = np.full((7, 8), cap)
+    specs = [NetSpec(f"n{i}", Side.FRONT, [(0, 4), (7, 4)])
+             for i in range(n_parallel)]
+    return GlobalRouter(grid).route_all(specs)
+
+
+class TestCongestionOf:
+    def test_ratio_reflects_sharing(self):
+        light = routed(cap=10.0, n_parallel=1)
+        heavy = routed(cap=10.0, n_parallel=8)
+        assert heavy.congestion_of("n0") > light.congestion_of("n0")
+
+    def test_empty_net_zero(self):
+        result = routed()
+        result.routes["n0"].edges.clear()
+        assert result.congestion_of("n0") == 0.0
+
+    def test_unknown_net_zero(self):
+        assert routed().congestion_of("nope") == 0.0
+
+
+class TestCongestionDerates:
+    def test_low_congestion_no_derate(self):
+        result = routed(cap=50.0, n_parallel=2)
+        derates = congestion_derates({Side.FRONT: result})
+        assert all(d == pytest.approx(1.0) for d in derates.values())
+
+    def test_high_congestion_derates(self):
+        result = routed(cap=2.0, n_parallel=6)
+        derates = congestion_derates({Side.FRONT: result})
+        assert max(derates.values()) > 1.2
+
+    def test_worst_side_wins(self):
+        light = routed(cap=50.0, n_parallel=2)
+        heavy = routed(cap=2.0, n_parallel=6)
+        combined = congestion_derates({Side.FRONT: light, Side.BACK: heavy})
+        only_heavy = congestion_derates({Side.BACK: heavy})
+        for net, factor in only_heavy.items():
+            assert combined[net] == pytest.approx(factor)
+
+
+class TestNetlistAttributes:
+    def test_riscv_metadata_present(self, rv_tiny):
+        assert rv_tiny.attributes["config"].xlen == 8
+        assert len(rv_tiny.attributes["pc_nets"]) == 8
+        assert set(rv_tiny.attributes["regfile_nets"]) == set(range(1, 8))
+
+    def test_attributes_default_empty(self, counter8):
+        assert counter8.attributes == {}
+
+
+class TestMiscApi:
+    def test_ppa_summary_format(self, ffet_lib):
+        from repro.core import FlowConfig, run_flow
+        from repro.synth import generate_multiplier
+
+        result = run_flow(lambda: generate_multiplier(4),
+                          FlowConfig(arch="ffet", utilization=0.6,
+                                     backside_pin_fraction=0.5))
+        text = result.summary()
+        assert "GHz" in text and "mW" in text and "util" in text
+
+    def test_failed_run_invalid(self):
+        from repro.core import FailedRun
+
+        run = FailedRun(label="x", target_utilization=0.9, reason="taps")
+        assert not run.valid
+
+    def test_layer_sweep_point_label(self):
+        from repro.core.sweeps import LayerSweepPoint
+
+        assert LayerSweepPoint(6, 6, 0.8, None).label == "FM6BM6"
+        assert LayerSweepPoint(12, 0, 0.7, None).label == "FM12"
+
+    def test_cli_doe_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["doe", "coopt", "--fractions", "0.5", "--xlen", "8",
+             "--nregs", "8"])
+        assert args.kind == "coopt"
+        assert args.fractions == [0.5]

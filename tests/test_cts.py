@@ -1,0 +1,85 @@
+"""Clock tree synthesis tests."""
+
+import pytest
+
+from repro.pnr import (
+    FloorplanSpec,
+    place,
+    plan_floor,
+    plan_power,
+    synthesize_clock_tree,
+)
+
+
+@pytest.fixture()
+def placed(ffet_lib, mult4):
+    die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+    powerplan = plan_power(ffet_lib.tech, die)
+    placement = place(mult4, ffet_lib, die, powerplan, seed=0)
+    return die, powerplan, placement
+
+
+class TestClockTree:
+    def test_every_flop_buffered(self, ffet_lib, mult4, placed):
+        _die, _pp, placement = placed
+        flops = [i.name for i in mult4.sequential_instances(ffet_lib)]
+        synthesize_clock_tree(mult4, ffet_lib, placement, "clk")
+        for name in flops:
+            ck_net = mult4.instances[name].connections["CK"]
+            assert ck_net.startswith("ctsnet_")
+            driver_inst, _pin = mult4.nets[ck_net].driver
+            assert ffet_lib[mult4.instances[driver_inst].master].function == \
+                "CLKBUF"
+
+    def test_root_connected_to_clock_pi(self, ffet_lib, mult4, placed):
+        _die, _pp, placement = placed
+        report = synthesize_clock_tree(mult4, ffet_lib, placement, "clk")
+        root = mult4.instances[report.root_buffer]
+        assert root.connections["A"] == "clk"
+
+    def test_fanout_budget(self, ffet_lib, mult4, placed):
+        _die, _pp, placement = placed
+        max_fanout = 8
+        synthesize_clock_tree(mult4, ffet_lib, placement, "clk",
+                              max_fanout=max_fanout)
+        for net in mult4.nets.values():
+            if net.name.startswith("ctsnet_"):
+                assert len(net.sinks) <= max_fanout
+
+    def test_report_counts(self, ffet_lib, mult4, placed):
+        _die, _pp, placement = placed
+        n_flops = len(mult4.sequential_instances(ffet_lib))
+        report = synthesize_clock_tree(mult4, ffet_lib, placement, "clk")
+        assert report.sinks == n_flops
+        assert report.buffers >= 1
+        assert report.levels >= 1
+
+    def test_buffers_placed(self, ffet_lib, mult4, placed):
+        _die, _pp, placement = placed
+        report = synthesize_clock_tree(mult4, ffet_lib, placement, "clk")
+        cts_instances = [n for n in mult4.instances if n.startswith("ctsbuf_")]
+        assert len(cts_instances) == report.buffers
+        for name in cts_instances:
+            assert name in placement.locations
+
+    def test_netlist_still_binds(self, ffet_lib, mult4, placed):
+        _die, _pp, placement = placed
+        synthesize_clock_tree(mult4, ffet_lib, placement, "clk")
+        mult4.bind(ffet_lib)  # must not raise
+
+    def test_missing_clock_rejected(self, ffet_lib, mult4, placed):
+        _die, _pp, placement = placed
+        with pytest.raises(KeyError):
+            synthesize_clock_tree(mult4, ffet_lib, placement, "not_a_clock")
+
+    def test_large_tree_has_multiple_levels(self, ffet_lib, placed):
+        from repro.synth import generate_multiplier
+
+        nl = generate_multiplier(8)
+        nl.bind(ffet_lib)
+        die = plan_floor(nl, ffet_lib, FloorplanSpec(0.7))
+        powerplan = plan_power(ffet_lib.tech, die)
+        placement = place(nl, ffet_lib, die, powerplan, seed=0)
+        report = synthesize_clock_tree(nl, ffet_lib, placement, "clk",
+                                       max_fanout=4)
+        assert report.levels >= 3

@@ -1,0 +1,113 @@
+"""DRC/LVS-lite checks and library QA tests."""
+
+import pytest
+
+from repro.cells import validate_library
+from repro.core import FlowConfig, run_flow
+from repro.lefdef import (
+    DefComponent,
+    DefDesign,
+    RouteSegment,
+    check_connectivity,
+    check_def,
+)
+from repro.synth import generate_multiplier
+from repro.tech import Side
+
+
+@pytest.fixture(scope="module")
+def flow_artifacts():
+    config = FlowConfig(arch="ffet", utilization=0.65,
+                        backside_pin_fraction=0.5)
+    return run_flow(lambda: generate_multiplier(6), config,
+                    return_artifacts=True)
+
+
+class TestFlowDefsAreClean:
+    def test_per_side_defs_pass_drc(self, flow_artifacts):
+        art = flow_artifacts
+        for side, design in art.defs.items():
+            report = check_def(design, art.library, art.netlist, side=side)
+            assert report.clean, report.violations[:5]
+
+    def test_merged_def_passes_drc(self, flow_artifacts):
+        art = flow_artifacts
+        report = check_def(art.merged_def, art.library, art.netlist)
+        assert report.clean, report.violations[:5]
+
+    def test_lvs_connectivity(self, flow_artifacts):
+        art = flow_artifacts
+        report = check_connectivity(art.merged_def, art.netlist)
+        assert report.clean, report.violations[:5]
+
+
+class TestDrcCatchesErrors:
+    @pytest.fixture()
+    def base(self, ffet_lib):
+        design = DefDesign("t", 2000.0, 2000.0)
+        design.components["u1"] = DefComponent("u1", "INVD1", 100.0, 52.5)
+        return design
+
+    def test_unknown_master(self, ffet_lib, base):
+        base.components["bad"] = DefComponent("bad", "NONSENSE", 0.0, 0.0)
+        report = check_def(base, ffet_lib)
+        assert report.count("component.master") == 1
+
+    def test_component_outside_die(self, ffet_lib, base):
+        base.components["u2"] = DefComponent("u2", "INVD1", 9999.0, 0.0)
+        report = check_def(base, ffet_lib)
+        assert report.count("component.bounds") == 1
+
+    def test_wire_on_unknown_layer(self, ffet_lib, base):
+        base.nets["n"] = [RouteSegment("FM99", 0, 0, 100, 0)]
+        assert check_def(base, ffet_lib).count("wire.layer") == 1
+
+    def test_wire_on_pdn_layer(self, cfet_lib, base):
+        base.nets["n"] = [RouteSegment("BM1", 0, 0, 100, 0)]
+        assert check_def(base, cfet_lib).count("wire.purpose") == 1
+
+    def test_wire_on_wrong_side(self, ffet_lib, base):
+        base.nets["n"] = [RouteSegment("BM2", 0, 0, 100, 0)]
+        report = check_def(base, ffet_lib, side=Side.FRONT)
+        assert report.count("wire.side") == 1
+
+    def test_diagonal_wire(self, ffet_lib, base):
+        base.nets["n"] = [RouteSegment("FM2", 0, 0, 100, 100)]
+        assert check_def(base, ffet_lib).count("wire.orthogonal") == 1
+
+    def test_wire_outside_die(self, ffet_lib, base):
+        base.nets["n"] = [RouteSegment("FM2", 0, 0, 99999, 0)]
+        assert check_def(base, ffet_lib).count("wire.bounds") == 1
+
+    def test_lvs_missing_and_extra(self, ffet_lib, base, counter8):
+        report = check_connectivity(base, counter8)
+        assert report.count("lvs.missing") == len(counter8.instances)
+        assert report.count("lvs.extra") == 1  # u1 is not in the counter
+
+
+class TestLibraryQa:
+    def test_shipping_libraries_clean(self, ffet_lib, cfet_lib):
+        assert validate_library(ffet_lib).clean
+        assert validate_library(cfet_lib).clean
+
+    def test_redistributed_library_clean(self, ffet_lib):
+        from repro.cells import redistribute_input_pins
+
+        lib = redistribute_input_pins(ffet_lib, 0.5)
+        assert validate_library(lib).clean
+
+    def test_catches_backside_pin_in_cfet(self, cfet_lib):
+        from dataclasses import replace
+
+        from repro.cells import Library
+
+        broken = Library(tech=cfet_lib.tech)
+        for master in cfet_lib:
+            broken.add(master)
+        inv = broken["INVD1"]
+        bad_pins = dict(inv.pins)
+        bad_pins["A"] = inv.pins["A"].moved_to(Side.BACK)
+        broken.masters["INVD1"] = replace(inv, pins=bad_pins)
+        report = validate_library(broken)
+        assert not report.clean
+        assert any("backside" in issue for issue in report.issues)

@@ -1,0 +1,120 @@
+"""Dual-sided routing decomposition tests (Algorithm 1)."""
+
+import pytest
+
+from repro import build_library, make_ffet_node
+from repro.cells import (
+    redistribute_input_pins,
+    single_sided_output_library,
+)
+from repro.pnr import (
+    FloorplanSpec,
+    build_grid,
+    decompose_nets,
+    place,
+    plan_floor,
+    plan_power,
+)
+from repro.synth import generate_multiplier
+from repro.tech import Side
+
+
+def setup_design(library, width=4, util=0.6):
+    netlist = generate_multiplier(width)
+    netlist.bind(library)
+    die = plan_floor(netlist, library, FloorplanSpec(util))
+    powerplan = plan_power(library.tech, die)
+    placement = place(netlist, library, die, powerplan, seed=0)
+    sides = [Side.FRONT]
+    if library.tech.uses_backside_signals:
+        sides.append(Side.BACK)
+    grids = {
+        side: build_grid(library.tech, die, side, powerplan)
+        for side in sides
+    }
+    return netlist, placement, grids
+
+
+class TestDecomposition:
+    def test_all_front_when_pins_front(self, ffet_lib):
+        netlist, placement, grids = setup_design(ffet_lib)
+        decomposition = decompose_nets(netlist, ffet_lib, placement, grids)
+        assert decomposition.specs[Side.BACK] == []
+        assert len(decomposition.specs[Side.FRONT]) > 0
+
+    def test_split_follows_pin_sides(self, ffet_lib):
+        lib = redistribute_input_pins(ffet_lib, 0.5, seed=0)
+        netlist, placement, grids = setup_design(lib)
+        decomposition = decompose_nets(netlist, lib, placement, grids)
+        assert len(decomposition.specs[Side.BACK]) > 0
+        # Every backside sink's pin really is on the backside.
+        for (net, side), sinks in decomposition.side_sinks.items():
+            for inst, pin_name in sinks:
+                master = lib[netlist.instances[inst].master]
+                assert master.pin(pin_name).on_side(side)
+
+    def test_every_sink_covered_exactly_once(self, ffet_lib):
+        lib = redistribute_input_pins(ffet_lib, 0.3, seed=1)
+        netlist, placement, grids = setup_design(lib)
+        decomposition = decompose_nets(netlist, lib, placement, grids)
+        for net_name, net in netlist.nets.items():
+            covered = (
+                decomposition.sinks_on(net_name, Side.FRONT)
+                + decomposition.sinks_on(net_name, Side.BACK)
+            )
+            assert sorted(covered) == sorted(net.sinks), net_name
+
+    def test_no_bridges_with_dual_sided_outputs(self, ffet_lib):
+        lib = redistribute_input_pins(ffet_lib, 0.5, seed=0)
+        netlist, placement, grids = setup_design(lib)
+        decomposition = decompose_nets(netlist, lib, placement, grids)
+        assert decomposition.bridges == []
+
+    def test_backside_sink_without_back_grid_rejected(self, ffet_lib):
+        lib = redistribute_input_pins(ffet_lib, 0.5, seed=0)
+        netlist, placement, grids = setup_design(lib)
+        del grids[Side.BACK]
+        with pytest.raises(ValueError, match="no .*back.* routing"):
+            decompose_nets(netlist, lib, placement, grids)
+
+
+class TestBridging:
+    """Ablation: single-sided output pins force bridging cells."""
+
+    @pytest.fixture(scope="class")
+    def bridged(self):
+        base = build_library(make_ffet_node())
+        lib = redistribute_input_pins(base, 0.5, seed=0)
+        lib = single_sided_output_library(lib)
+        netlist, placement, grids = setup_design(lib)
+        decomposition = decompose_nets(netlist, lib, placement, grids,
+                                       allow_bridging=True)
+        return lib, netlist, decomposition
+
+    def test_bridges_inserted(self, bridged):
+        _lib, netlist, decomposition = bridged
+        assert len(decomposition.bridges) > 0
+        for bridge in decomposition.bridges:
+            assert netlist.instances[bridge].master == "BRIDGE"
+
+    def test_netlist_still_consistent(self, bridged):
+        lib, netlist, _decomposition = bridged
+        netlist.bind(lib)  # must not raise
+
+    def test_bridging_disabled_raises(self):
+        base = build_library(make_ffet_node())
+        lib = redistribute_input_pins(base, 0.5, seed=0)
+        lib = single_sided_output_library(lib)
+        netlist, placement, grids = setup_design(lib)
+        with pytest.raises(ValueError, match="bridging"):
+            decompose_nets(netlist, lib, placement, grids,
+                           allow_bridging=False)
+
+    def test_bridges_cost_area(self, bridged):
+        """The paper avoids bridging cells for exactly this reason."""
+        lib, netlist, decomposition = bridged
+        bridge_area = sum(
+            lib[netlist.instances[b].master].area_nm2(lib.tech)
+            for b in decomposition.bridges
+        )
+        assert bridge_area > 0

@@ -1,0 +1,73 @@
+"""Floorplan stage tests."""
+
+import pytest
+
+from repro.pnr import FloorplanSpec, achieved_utilization, plan_floor
+
+
+class TestFloorplanSpec:
+    def test_defaults(self):
+        spec = FloorplanSpec()
+        assert spec.utilization == 0.70
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            FloorplanSpec(utilization=0.0)
+        with pytest.raises(ValueError):
+            FloorplanSpec(utilization=1.2)
+
+    def test_bad_aspect_ratio(self):
+        with pytest.raises(ValueError):
+            FloorplanSpec(aspect_ratio=-1.0)
+
+
+class TestPlanFloor:
+    def test_achieved_at_or_below_target(self, ffet_lib, counter8):
+        for target in (0.5, 0.7, 0.85):
+            die = plan_floor(counter8, ffet_lib,
+                             FloorplanSpec(utilization=target))
+            achieved = achieved_utilization(counter8, ffet_lib, die)
+            assert achieved <= target + 1e-9
+            assert achieved > target * 0.75  # not grossly oversized
+
+    def test_higher_target_smaller_die(self, ffet_lib, counter8):
+        loose = plan_floor(counter8, ffet_lib, FloorplanSpec(0.5))
+        tight = plan_floor(counter8, ffet_lib, FloorplanSpec(0.8))
+        assert tight.area_nm2 < loose.area_nm2
+
+    def test_aspect_ratio_respected(self, ffet_lib, mult4):
+        tall = plan_floor(mult4, ffet_lib,
+                          FloorplanSpec(utilization=0.6, aspect_ratio=2.0))
+        wide = plan_floor(mult4, ffet_lib,
+                          FloorplanSpec(utilization=0.6, aspect_ratio=0.5))
+        assert tall.height_nm / tall.width_nm > 1.4
+        assert wide.height_nm / wide.width_nm < 0.7
+
+    def test_die_snapped_to_rows_and_sites(self, ffet_lib, counter8):
+        die = plan_floor(counter8, ffet_lib, FloorplanSpec(0.7))
+        assert die.height_nm == die.rows * ffet_lib.tech.cell_height_nm
+        assert die.width_nm == die.sites_per_row * ffet_lib.tech.cpp_nm
+
+    def test_cfet_die_larger_for_same_netlist(self, ffet_lib, cfet_lib):
+        from repro.synth import generate_counter
+
+        nl_f = generate_counter(8)
+        nl_f.bind(ffet_lib)
+        nl_c = generate_counter(8)
+        nl_c.bind(cfet_lib)
+        die_f = plan_floor(nl_f, ffet_lib, FloorplanSpec(0.7))
+        die_c = plan_floor(nl_c, cfet_lib, FloorplanSpec(0.7))
+        assert die_c.area_nm2 > die_f.area_nm2
+
+
+class TestDie:
+    def test_row_site_lookup(self, ffet_lib, counter8):
+        die = plan_floor(counter8, ffet_lib, FloorplanSpec(0.7))
+        assert die.row_of(-5.0) == 0
+        assert die.row_of(die.height_nm + 100) == die.rows - 1
+        assert die.site_of(0.0) == 0
+
+    def test_bounds(self, ffet_lib, counter8):
+        die = plan_floor(counter8, ffet_lib, FloorplanSpec(0.7))
+        rect = die.bounds()
+        assert rect.area_nm2 == pytest.approx(die.area_nm2)

@@ -1,0 +1,127 @@
+"""End-to-end flow tests on small designs."""
+
+import pytest
+
+from repro.core import FlowConfig, prepare_library, run_flow
+from repro.pnr import PlacementError
+from repro.synth import generate_multiplier
+from repro.tech import Side
+
+
+def factory():
+    return generate_multiplier(6)
+
+
+@pytest.fixture(scope="module")
+def ffet_run():
+    config = FlowConfig(arch="ffet", utilization=0.65,
+                        backside_pin_fraction=0.5, target_frequency_ghz=1.5)
+    return run_flow(factory, config, return_artifacts=True)
+
+
+@pytest.fixture(scope="module")
+def cfet_run():
+    config = FlowConfig(arch="cfet", back_layers=0, backside_pin_fraction=0.0,
+                        utilization=0.65, target_frequency_ghz=1.5)
+    return run_flow(factory, config, return_artifacts=True)
+
+
+class TestFlowConfig:
+    def test_label(self):
+        cfg = FlowConfig(arch="ffet", front_layers=6, back_layers=6,
+                         backside_pin_fraction=0.3)
+        assert cfg.label == "FFET FM6BM6 FP0.7BP0.3"
+
+    def test_cfet_label(self):
+        cfg = FlowConfig(arch="cfet", back_layers=0, backside_pin_fraction=0.0)
+        assert cfg.label == "CFET FM12"
+
+    def test_invalid_combinations(self):
+        with pytest.raises(ValueError):
+            FlowConfig(arch="cfet", back_layers=12)
+        with pytest.raises(ValueError):
+            FlowConfig(arch="ffet", back_layers=0, backside_pin_fraction=0.5)
+        with pytest.raises(ValueError):
+            FlowConfig(arch="finfet")
+
+    def test_with_override(self):
+        cfg = FlowConfig().with_(utilization=0.5)
+        assert cfg.utilization == 0.5
+        assert cfg.arch == "ffet"
+
+    def test_target_period(self):
+        assert FlowConfig(target_frequency_ghz=2.0).target_period_ps == 500.0
+
+
+class TestLibraryPreparation:
+    def test_redistribution_applied(self):
+        cfg = FlowConfig(arch="ffet", backside_pin_fraction=0.3)
+        lib = prepare_library(cfg)
+        assert lib.backside_input_fraction() == pytest.approx(0.3, abs=0.03)
+
+    def test_cache_shares_masters(self):
+        cfg = FlowConfig(arch="ffet", backside_pin_fraction=0.3)
+        a = prepare_library(cfg)
+        b = prepare_library(cfg.with_(front_layers=6, back_layers=6))
+        assert a["INVD1"] is b["INVD1"]
+        assert a.tech.routing_label != b.tech.routing_label
+
+
+class TestFlowResults:
+    def test_result_fields(self, ffet_run):
+        result = ffet_run.result
+        assert result.valid
+        assert result.achieved_frequency_ghz > 0.1
+        assert result.total_power_mw > 0
+        assert result.core_area_um2 > result.cell_area_um2
+        assert result.cell_count == len(ffet_run.netlist.instances)
+
+    def test_dual_sided_routing_happened(self, ffet_run):
+        result = ffet_run.result
+        assert result.back_wirelength_um > 0
+        assert result.front_wirelength_um > 0
+        assert Side.BACK in ffet_run.defs
+
+    def test_two_defs_merged(self, ffet_run):
+        merged = ffet_run.merged_def
+        front_layers = {l for l in merged.layers_used() if l.startswith("F")}
+        back_layers = {l for l in merged.layers_used() if l.startswith("B")}
+        assert front_layers and back_layers
+
+    def test_def_component_count(self, ffet_run):
+        # Components = standard cells + tap cells.
+        merged = ffet_run.merged_def
+        expected = len(ffet_run.netlist.instances) + \
+            len(ffet_run.powerplan.tap_cells)
+        assert len(merged.components) == expected
+
+    def test_cfet_single_sided(self, cfet_run):
+        result = cfet_run.result
+        assert result.back_wirelength_um == 0
+        assert Side.BACK not in cfet_run.defs
+
+    def test_ffet_beats_cfet_area(self, ffet_run, cfet_run):
+        assert ffet_run.result.core_area_um2 < cfet_run.result.core_area_um2
+
+    def test_ffet_not_slower(self, ffet_run, cfet_run):
+        assert ffet_run.result.achieved_frequency_ghz >= \
+            0.95 * cfet_run.result.achieved_frequency_ghz
+
+    def test_determinism(self):
+        cfg = FlowConfig(arch="ffet", utilization=0.6,
+                         backside_pin_fraction=0.5)
+        r1 = run_flow(factory, cfg)
+        r2 = run_flow(factory, cfg)
+        assert r1.achieved_frequency_ghz == r2.achieved_frequency_ghz
+        assert r1.total_power_mw == r2.total_power_mw
+        assert r1.drv_count == r2.drv_count
+
+    def test_impossible_utilization_raises(self):
+        cfg = FlowConfig(arch="ffet", utilization=0.92,
+                         backside_pin_fraction=0.5)
+        with pytest.raises(PlacementError):
+            run_flow(factory, cfg)
+
+    def test_extraction_covers_all_nets(self, ffet_run):
+        for net in ffet_run.netlist.nets:
+            assert net in ffet_run.extraction

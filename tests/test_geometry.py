@@ -1,0 +1,68 @@
+"""Geometry primitive tests."""
+
+import pytest
+
+from repro.pnr import Die, Point, Rect
+
+
+class TestPoint:
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Point(0, 0).x_nm = 5
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 8)
+        assert r.width_nm == 3
+        assert r.height_nm == 6
+        assert r.area_nm2 == 18
+        assert r.center == Point(2.5, 5.0)
+
+    def test_contains(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(Point(5, 5))
+        assert r.contains(Point(0, 10))   # boundary inclusive
+        assert not r.contains(Point(11, 5))
+
+    def test_overlaps(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.overlaps(Rect(5, 5, 15, 15))
+        assert not a.overlaps(Rect(10, 0, 20, 10))  # edge-sharing is open
+        assert not a.overlaps(Rect(20, 20, 30, 30))
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 0, 5)
+
+
+class TestDie:
+    def make(self):
+        return Die(rows=10, sites_per_row=100, site_width_nm=50.0,
+                   row_height_nm=105.0)
+
+    def test_dimensions(self):
+        die = self.make()
+        assert die.width_nm == 5000.0
+        assert die.height_nm == 1050.0
+        assert die.total_sites == 1000
+        assert die.area_um2 == pytest.approx(5.25)
+
+    def test_row_site_lookup_clamped(self):
+        die = self.make()
+        assert die.row_of(52.5) == 0
+        assert die.row_of(1e9) == 9
+        assert die.site_of(-1.0) == 0
+        assert die.site_of(4999.0) == 99
+
+    def test_invalid_die_rejected(self):
+        with pytest.raises(ValueError):
+            Die(rows=0, sites_per_row=10, site_width_nm=50.0,
+                row_height_nm=105.0)
+
+    def test_bounds(self):
+        die = self.make()
+        assert die.bounds() == Rect(0.0, 0.0, 5000.0, 1050.0)

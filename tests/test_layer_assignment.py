@@ -1,0 +1,79 @@
+"""Layer assignment (tiering) tests."""
+
+import numpy as np
+import pytest
+
+from repro.pnr.routing.grid import RoutingGrid
+from repro.pnr.routing.layers import assign_layers, build_tiers
+from repro.pnr.routing.router import GlobalRouter, NetSpec
+from repro.tech import Side, make_ffet_node
+
+
+def grid_with_layers(n_layers):
+    tech = make_ffet_node(n_layers, 0)
+    layers = tech.routing_layers(Side.FRONT)
+    grid = RoutingGrid(side=Side.FRONT, cols=12, rows=12,
+                       gcell_nm=480.0, layers=layers)
+    grid.cap_h = np.full((12, 11), 50.0)
+    grid.cap_v = np.full((11, 12), 50.0)
+    return grid
+
+
+class TestTiers:
+    def test_pairing(self):
+        tiers = build_tiers(make_ffet_node().routing_layers(Side.FRONT))
+        assert len(tiers) == 6
+        assert tiers[0].horizontal.name == "FM2"
+        assert tiers[0].vertical.name == "FM1"
+        assert tiers[-1].horizontal.name == "FM12"
+
+    def test_via_stack_grows(self):
+        tiers = build_tiers(make_ffet_node().routing_layers(Side.FRONT))
+        stacks = [t.via_stack for t in tiers]
+        assert stacks == sorted(stacks)
+        assert stacks[0] == 1
+
+    def test_odd_layer_count(self):
+        tiers = build_tiers(make_ffet_node(5, 0).routing_layers(Side.FRONT))
+        assert len(tiers) == 3  # (1,2) (3,4) (5)
+        last = tiers[-1]
+        assert last.horizontal.name == last.vertical.name == "FM5"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_tiers([])
+
+
+class TestAssignment:
+    def route_mixed(self, grid):
+        specs = (
+            [NetSpec(f"short{i}", Side.FRONT, [(i, 0), (i, 1)])
+             for i in range(8)]
+            + [NetSpec(f"long{i}", Side.FRONT, [(0, i), (11, i)])
+               for i in range(4)]
+        )
+        return GlobalRouter(grid).route_all(specs)
+
+    def test_short_nets_low_long_nets_high(self):
+        result = self.route_mixed(grid_with_layers(12))
+        assignment = assign_layers(result)
+        short_tier = assignment.tier_of("short0").index
+        long_tier = assignment.tier_of("long3").index
+        assert short_tier <= long_tier
+
+    def test_every_net_assigned(self):
+        result = self.route_mixed(grid_with_layers(12))
+        assignment = assign_layers(result)
+        assert set(assignment.net_tier) == set(result.routes)
+
+    def test_fewer_layers_compresses_tiers(self):
+        result = self.route_mixed(grid_with_layers(4))
+        assignment = assign_layers(result)
+        assert all(t.index < 2 for t in assignment.net_tier.values())
+
+    def test_tier_layers_on_grid_side(self):
+        result = self.route_mixed(grid_with_layers(6))
+        assignment = assign_layers(result)
+        for tier in assignment.tiers:
+            assert tier.horizontal.side is Side.FRONT
+            assert tier.vertical.side is Side.FRONT

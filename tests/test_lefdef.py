@@ -1,0 +1,128 @@
+"""LEF/DEF writer/parser and DEF merge tests."""
+
+import pytest
+
+from repro.lefdef import (
+    DefComponent,
+    DefDesign,
+    RouteSegment,
+    merge_defs,
+    parse_def,
+    parse_lef,
+    write_def,
+    write_lef,
+)
+from repro.tech import Side
+
+
+class TestLef:
+    def test_roundtrip_macros(self, ffet_lib):
+        macros = parse_lef(write_lef(ffet_lib))
+        assert set(macros) == set(ffet_lib.masters)
+
+    def test_pin_sides_encoded(self, ffet_lib):
+        macros = parse_lef(write_lef(ffet_lib))
+        inv = macros["INVD1"]
+        assert inv.pins["ZN"].sides == {Side.FRONT, Side.BACK}
+        assert inv.pins["A"].sides == {Side.FRONT}
+
+    def test_cfet_pins_front_only(self, cfet_lib):
+        macros = parse_lef(write_lef(cfet_lib))
+        for macro in macros.values():
+            for pin in macro.pins.values():
+                assert pin.sides == {Side.FRONT}
+
+    def test_sizes_match_library(self, ffet_lib):
+        macros = parse_lef(write_lef(ffet_lib))
+        tech = ffet_lib.tech
+        for name, macro in macros.items():
+            master = ffet_lib[name]
+            assert macro.width_um == pytest.approx(
+                master.width_cpp * tech.cpp_nm / 1000.0, abs=1e-3)
+            assert macro.height_um == pytest.approx(
+                tech.cell_height_nm / 1000.0, abs=1e-3)
+
+    def test_redistributed_lef_moves_pins(self, ffet_lib):
+        from repro.cells import redistribute_input_pins
+
+        lib = redistribute_input_pins(ffet_lib, 1.0)  # everything backside
+        macros = parse_lef(write_lef(lib))
+        assert macros["NAND2D1"].pins["A"].sides == {Side.BACK}
+
+    def test_directions_and_use(self, ffet_lib):
+        macros = parse_lef(write_lef(ffet_lib))
+        dff = macros["DFFD1"]
+        assert dff.pins["Q"].direction == "OUTPUT"
+        assert dff.pins["CK"].use == "CLOCK"
+
+
+def sample_def():
+    design = DefDesign("blk", 5000.0, 4000.0)
+    design.components["u1"] = DefComponent("u1", "INVD1", 100.0, 52.5)
+    design.components["u2"] = DefComponent("u2", "NAND2D1", 900.0, 157.5)
+    design.components["t1"] = DefComponent("t1", "PTAP", 0.0, 52.5, fixed=True)
+    design.nets["n1"] = [
+        RouteSegment("FM2", 100.0, 52.0, 900.0, 52.0),
+        RouteSegment("FM1", 900.0, 52.0, 900.0, 157.0),
+    ]
+    design.special_nets["VSS"] = [RouteSegment("BM2", 0.0, 0.0, 0.0, 4000.0)]
+    return design
+
+
+class TestDef:
+    def test_roundtrip(self):
+        design = sample_def()
+        back = parse_def(write_def(design))
+        assert back.name == "blk"
+        assert back.die_width_nm == 5000.0
+        assert set(back.components) == set(design.components)
+        assert back.components["t1"].fixed
+        assert len(back.nets["n1"]) == 2
+        assert back.nets["n1"][0].layer == "FM2"
+        assert back.special_nets["VSS"][0].layer == "BM2"
+
+    def test_wirelength(self):
+        design = sample_def()
+        assert design.total_wirelength_nm == pytest.approx(800.0 + 105.0)
+
+    def test_layers_used(self):
+        assert sample_def().layers_used() == {"FM1", "FM2"}
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_def("not a def file")
+
+
+class TestMerge:
+    def test_merge_unions_nets(self):
+        front = sample_def()
+        back = DefDesign("blk_back", 5000.0, 4000.0,
+                         components=dict(front.components))
+        back.nets["n1"] = [RouteSegment("BM2", 100.0, 52.0, 500.0, 52.0)]
+        back.nets["n2"] = [RouteSegment("BM1", 0.0, 0.0, 0.0, 100.0)]
+        merged = merge_defs(front, back, name="blk")
+        assert len(merged.nets["n1"]) == 3
+        assert "n2" in merged.nets
+        assert merged.layers_used() == {"FM1", "FM2", "BM1", "BM2"}
+
+    def test_component_mismatch_rejected(self):
+        front = sample_def()
+        back = DefDesign("b", 5000.0, 4000.0)
+        with pytest.raises(ValueError, match="component mismatch"):
+            merge_defs(front, back)
+
+    def test_side_layer_mixup_rejected(self):
+        front = sample_def()
+        bad_back = DefDesign("b", 5000.0, 4000.0,
+                             components=dict(front.components))
+        bad_back.nets["x"] = [RouteSegment("FM3", 0, 0, 10, 0)]
+        with pytest.raises(ValueError, match="side/layer"):
+            merge_defs(front, bad_back)
+
+    def test_merge_keeps_specialnets(self):
+        front = sample_def()
+        back = DefDesign("b", 5000.0, 4000.0,
+                         components=dict(front.components))
+        back.special_nets["VDD"] = [RouteSegment("BM2", 10, 0, 10, 100)]
+        merged = merge_defs(front, back)
+        assert set(merged.special_nets) == {"VSS", "VDD"}

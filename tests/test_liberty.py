@@ -1,0 +1,88 @@
+"""Liberty writer/parser round-trip tests."""
+
+import pytest
+
+from repro.cells import parse_liberty, write_liberty
+from repro.tech import Side
+
+
+@pytest.fixture(scope="module")
+def roundtrip(ffet_lib):
+    text = write_liberty(ffet_lib)
+    return text, parse_liberty(text, ffet_lib)
+
+
+class TestWriter:
+    def test_header(self, roundtrip):
+        text, _ = roundtrip
+        assert text.startswith("library (")
+        assert 'time_unit : "1ps";' in text
+        assert "lu_table_template" in text
+
+    def test_all_cells_emitted(self, ffet_lib, roundtrip):
+        text, _ = roundtrip
+        for master in ffet_lib:
+            assert f"cell ({master.name})" in text
+
+    def test_ff_group_for_sequentials(self, roundtrip):
+        text, _ = roundtrip
+        assert "ff (IQ, IQN)" in text
+        assert "setup_rising" in text
+
+    def test_wafer_side_extension(self, roundtrip):
+        text, _ = roundtrip
+        assert 'wafer_side : "back+front";' in text  # dual-sided outputs
+
+
+class TestRoundTrip:
+    def test_cells_preserved(self, ffet_lib, roundtrip):
+        _, parsed = roundtrip
+        assert set(parsed.masters) == set(ffet_lib.masters)
+
+    def test_delays_match(self, ffet_lib, roundtrip):
+        _, parsed = roundtrip
+        for name in ("INVD1", "NAND2D1", "BUFD4", "XOR2D1"):
+            orig = ffet_lib[name].arcs[0]
+            back = parsed[name].arcs[0]
+            for slew, load in ((5.0, 2.0), (20.0, 10.0)):
+                assert back.delay(slew, load, True) == pytest.approx(
+                    orig.delay(slew, load, True), abs=1e-3)
+                assert back.transition(slew, load, False) == pytest.approx(
+                    orig.transition(slew, load, False), abs=1e-3)
+
+    def test_unateness_preserved(self, ffet_lib, roundtrip):
+        _, parsed = roundtrip
+        assert parsed["INVD1"].arcs[0].unate == "-"
+        assert parsed["BUFD1"].arcs[0].unate == "+"
+        assert parsed["XOR2D1"].arcs[0].unate == "x"
+
+    def test_pin_caps_match(self, ffet_lib, roundtrip):
+        _, parsed = roundtrip
+        for name in ("INVD4", "DFFD1"):
+            for pin in ffet_lib[name].input_pins:
+                assert parsed[name].pin(pin.name).cap_ff == pytest.approx(
+                    pin.cap_ff, abs=1e-4)
+
+    def test_pin_sides_preserved(self, ffet_lib, roundtrip):
+        _, parsed = roundtrip
+        assert parsed["INVD1"].output.is_dual_sided
+        assert parsed["INVD1"].pin("A").sides == frozenset({Side.FRONT})
+
+    def test_sequential_constraints(self, ffet_lib, roundtrip):
+        _, parsed = roundtrip
+        orig = ffet_lib["DFFD1"].sequential
+        back = parsed["DFFD1"].sequential
+        assert back.setup_ps == pytest.approx(orig.setup_ps, abs=1e-3)
+        assert back.hold_ps == pytest.approx(orig.hold_ps, abs=1e-3)
+
+    def test_leakage_preserved(self, ffet_lib, roundtrip):
+        _, parsed = roundtrip
+        assert parsed["INVD2"].power.leakage_nw == pytest.approx(
+            ffet_lib["INVD2"].power.leakage_nw, abs=1e-3)
+
+    def test_redistributed_sides_roundtrip(self, ffet_lib):
+        from repro.cells import redistribute_input_pins
+
+        lib = redistribute_input_pins(ffet_lib, 1.0)
+        parsed = parse_liberty(write_liberty(lib), lib)
+        assert parsed["NAND2D1"].pin("A").sides == frozenset({Side.BACK})

@@ -1,0 +1,163 @@
+"""Optimization passes, equivalence checking and path reporting."""
+
+import pytest
+
+from repro.netlist import Netlist, check_equivalence, parse_verilog, write_verilog
+from repro.synth import (
+    collapse_inverter_pairs,
+    generate_multiplier,
+    optimize,
+    propagate_constants,
+    sweep_dead_gates,
+)
+
+
+def snapshot(netlist, library):
+    copy = parse_verilog(write_verilog(netlist))
+    copy.bind(library)
+    return copy
+
+
+class TestConstantPropagation:
+    def test_and_with_tielo_becomes_constant(self, ffet_lib):
+        nl = Netlist("t")
+        nl.add_net("a", primary_input=True)
+        nl.add_net("z", primary_output=True)
+        nl.add_instance("tie", "TIELO", {"Z": "zero"})
+        nl.add_instance("g", "AND2D1", {"A": "a", "B": "zero", "Z": "z"})
+        nl.bind(ffet_lib)
+        changed = propagate_constants(nl, ffet_lib)
+        assert changed == 1
+        driver = nl.nets["z"].driver
+        assert nl.instances[driver[0]].master == "TIELO"
+
+    def test_and_with_tiehi_becomes_wire(self, ffet_lib):
+        nl = Netlist("t")
+        nl.add_net("a", primary_input=True)
+        nl.add_net("z", primary_output=True)
+        nl.add_instance("tie", "TIEHI", {"Z": "one"})
+        nl.add_instance("g", "AND2D1", {"A": "a", "B": "one", "Z": "z"})
+        nl.bind(ffet_lib)
+        propagate_constants(nl, ffet_lib)
+        driver = nl.nets["z"].driver
+        assert nl.instances[driver[0]].master == "BUFD1"
+
+    def test_nand_with_tielo_is_constant_one(self, ffet_lib):
+        nl = Netlist("t")
+        nl.add_net("a", primary_input=True)
+        nl.add_net("z", primary_output=True)
+        nl.add_instance("tie", "TIELO", {"Z": "zero"})
+        nl.add_instance("g", "NAND2D1", {"A": "a", "B": "zero", "ZN": "z"})
+        nl.bind(ffet_lib)
+        propagate_constants(nl, ffet_lib)
+        driver = nl.nets["z"].driver
+        assert nl.instances[driver[0]].master == "TIEHI"
+
+    def test_xor_with_tiehi_becomes_inverter(self, ffet_lib):
+        nl = Netlist("t")
+        nl.add_net("a", primary_input=True)
+        nl.add_net("z", primary_output=True)
+        nl.add_instance("tie", "TIEHI", {"Z": "one"})
+        nl.add_instance("g", "XOR2D1", {"A": "a", "B": "one", "Z": "z"})
+        nl.bind(ffet_lib)
+        propagate_constants(nl, ffet_lib)
+        driver = nl.nets["z"].driver
+        assert nl.instances[driver[0]].master == "INVD1"
+
+
+class TestInverterCollapse:
+    def test_pair_collapses(self, ffet_lib):
+        nl = Netlist("t")
+        nl.add_net("a", primary_input=True)
+        nl.add_net("z", primary_output=True)
+        nl.add_instance("i1", "INVD1", {"A": "a", "ZN": "n1"})
+        nl.add_instance("i2", "INVD1", {"A": "n1", "ZN": "n2"})
+        nl.add_instance("g", "BUFD1", {"A": "n2", "Z": "z"})
+        nl.bind(ffet_lib)
+        changed = collapse_inverter_pairs(nl, ffet_lib)
+        assert changed == 1
+        assert nl.instances["g"].connections["A"] == "a"
+
+    def test_single_inverter_kept(self, ffet_lib):
+        nl = Netlist("t")
+        nl.add_net("a", primary_input=True)
+        nl.add_net("z", primary_output=True)
+        nl.add_instance("i1", "INVD1", {"A": "a", "ZN": "z"})
+        nl.bind(ffet_lib)
+        assert collapse_inverter_pairs(nl, ffet_lib) == 0
+
+
+class TestDeadSweep:
+    def test_unobserved_gate_removed(self, ffet_lib):
+        nl = Netlist("t")
+        nl.add_net("a", primary_input=True)
+        nl.add_net("z", primary_output=True)
+        nl.add_instance("keep", "BUFD1", {"A": "a", "Z": "z"})
+        nl.add_instance("dead", "INVD1", {"A": "a", "ZN": "unused"})
+        nl.bind(ffet_lib)
+        assert sweep_dead_gates(nl, ffet_lib) == 1
+        assert "dead" not in nl.instances
+
+    def test_chain_of_dead_gates_removed(self, ffet_lib):
+        nl = Netlist("t")
+        nl.add_net("a", primary_input=True)
+        nl.add_net("z", primary_output=True)
+        nl.add_instance("keep", "BUFD1", {"A": "a", "Z": "z"})
+        nl.add_instance("d1", "INVD1", {"A": "a", "ZN": "m"})
+        nl.add_instance("d2", "INVD1", {"A": "m", "ZN": "unused"})
+        nl.bind(ffet_lib)
+        assert sweep_dead_gates(nl, ffet_lib) == 2
+
+
+class TestOptimizeEndToEnd:
+    def test_multiplier_function_preserved(self, ffet_lib):
+        nl = generate_multiplier(4, registered=False)
+        nl.bind(ffet_lib)
+        reference = snapshot(nl, ffet_lib)
+        report = optimize(nl, ffet_lib)
+        assert report.total > 0
+        result = check_equivalence(nl, reference, ffet_lib, vectors=48)
+        assert result.equivalent, result.mismatches
+
+    def test_counter_function_preserved(self, ffet_lib, counter8):
+        reference = snapshot(counter8, ffet_lib)
+        optimize(counter8, ffet_lib)
+        result = check_equivalence(counter8, reference, ffet_lib, vectors=32)
+        assert result.equivalent, result.mismatches
+
+
+class TestEquivalenceChecker:
+    def test_detects_difference(self, ffet_lib):
+        a = Netlist("a")
+        a.add_net("x", primary_input=True)
+        a.add_net("z", primary_output=True)
+        a.add_instance("g", "BUFD1", {"A": "x", "Z": "z"})
+        a.bind(ffet_lib)
+        b = Netlist("b")
+        b.add_net("x", primary_input=True)
+        b.add_net("z", primary_output=True)
+        b.add_instance("g", "INVD1", {"A": "x", "ZN": "z"})
+        b.bind(ffet_lib)
+        result = check_equivalence(a, b, ffet_lib, vectors=8)
+        assert not result.equivalent
+        assert "output z" in result.mismatches
+
+    def test_identical_netlists_equivalent(self, ffet_lib, mult4):
+        clone = snapshot(mult4, ffet_lib)
+        result = check_equivalence(mult4, clone, ffet_lib, vectors=16)
+        assert result.equivalent
+
+
+class TestPathReport:
+    def test_path_stages_sum_close_to_arrival(self, ffet_lib, mult4):
+        from repro.extract import estimate_parasitics
+        from repro.sta import format_path, report_critical_path
+
+        extraction = estimate_parasitics(mult4, ffet_lib)
+        path = report_critical_path(mult4, ffet_lib, extraction, 1000.0)
+        assert path.stages
+        total = path.cell_delay_ps + path.wire_delay_ps
+        # Worst-edge re-derivation approximates the edge-aware arrival.
+        assert total == pytest.approx(path.arrival_ps, rel=0.5)
+        text = format_path(path)
+        assert "endpoint" in text and "total" in text

@@ -1,0 +1,119 @@
+"""Placement tests: global placement, legalization, tap-cell blockages."""
+
+import math
+
+import pytest
+
+from repro.pnr import (
+    FloorplanSpec,
+    PlacementError,
+    global_place,
+    legalize,
+    place,
+    plan_floor,
+    plan_power,
+)
+
+
+@pytest.fixture()
+def placed_mult(ffet_lib, mult4):
+    die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+    powerplan = plan_power(ffet_lib.tech, die)
+    placement = place(mult4, ffet_lib, die, powerplan, seed=3)
+    return die, powerplan, placement
+
+
+class TestGlobalPlace:
+    def test_all_cells_placed(self, ffet_lib, mult4):
+        die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+        placement = global_place(mult4, ffet_lib, die, seed=0)
+        assert set(placement.locations) == set(mult4.instances)
+
+    def test_cells_inside_die(self, ffet_lib, mult4):
+        die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+        placement = global_place(mult4, ffet_lib, die, seed=0)
+        for p in placement.locations.values():
+            assert 0 <= p.x_nm <= die.width_nm
+            assert 0 <= p.y_nm <= die.height_nm
+
+    def test_deterministic(self, ffet_lib, mult4):
+        die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+        a = global_place(mult4, ffet_lib, die, seed=5)
+        b = global_place(mult4, ffet_lib, die, seed=5)
+        assert a.locations == b.locations
+
+    def test_connected_cells_near_each_other(self, ffet_lib, mult4):
+        """Placement must beat a random shuffle on HPWL by a wide margin."""
+        import random
+
+        die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+        placement = global_place(mult4, ffet_lib, die, seed=0)
+        good = placement.hpwl_nm(mult4)
+        rng = random.Random(0)
+        names = list(placement.locations)
+        shuffled = names[:]
+        rng.shuffle(shuffled)
+        placement.locations = {
+            a: placement.locations[b] for a, b in zip(names, shuffled)
+        }
+        bad = placement.hpwl_nm(mult4)
+        assert good < 0.7 * bad
+
+    def test_io_pads_on_periphery(self, ffet_lib, mult4):
+        die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+        placement = global_place(mult4, ffet_lib, die, seed=0)
+        for pad in placement.io_pins.values():
+            on_edge = (
+                pad.x_nm in (0.0, die.width_nm)
+                or pad.y_nm in (0.0, die.height_nm)
+            )
+            assert on_edge
+
+
+class TestLegalize:
+    def test_rows_and_no_overlap(self, ffet_lib, mult4, placed_mult):
+        die, powerplan, placement = placed_mult
+        occupied = {}
+        for name, p in placement.locations.items():
+            master = ffet_lib[mult4.instances[name].master]
+            width = max(1, math.ceil(master.width_cpp))
+            row = int(p.y_nm // die.row_height_nm)
+            start = round(p.x_nm / die.site_width_nm - width / 2)
+            assert 0 <= start and start + width <= die.sites_per_row
+            for site in range(start, start + width):
+                key = (row, site)
+                assert key not in occupied, f"{name} overlaps {occupied.get(key)}"
+                occupied[key] = name
+
+    def test_tap_sites_respected(self, ffet_lib, mult4, placed_mult):
+        die, powerplan, placement = placed_mult
+        blocked = powerplan.blocked_sites()
+        for name, p in placement.locations.items():
+            master = ffet_lib[mult4.instances[name].master]
+            width = max(1, math.ceil(master.width_cpp))
+            row = int(p.y_nm // die.row_height_nm)
+            start = round(p.x_nm / die.site_width_nm - width / 2)
+            assert not blocked[row, start:start + width].any(), name
+
+    def test_y_snapped_to_rows(self, placed_mult):
+        die, _powerplan, placement = placed_mult
+        for p in placement.locations.values():
+            frac = (p.y_nm / die.row_height_nm) % 1.0
+            assert frac == pytest.approx(0.5)
+
+    def test_impossible_utilization_raises(self, ffet_lib, mult4):
+        from repro.pnr.geometry import Die
+
+        die = Die(rows=2, sites_per_row=10, site_width_nm=50.0,
+                  row_height_nm=105.0)
+        powerplan = plan_power(ffet_lib.tech, die)
+        with pytest.raises(PlacementError):
+            place(mult4, ffet_lib, die, powerplan)
+
+    def test_legalization_preserves_locality(self, ffet_lib, mult4):
+        die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+        powerplan = plan_power(ffet_lib.tech, die)
+        rough = global_place(mult4, ffet_lib, die, seed=0)
+        legal = legalize(rough, mult4, ffet_lib, powerplan)
+        # Legalization should not blow up wirelength.
+        assert legal.hpwl_nm(mult4) < 2.0 * rough.hpwl_nm(mult4)

@@ -1,0 +1,80 @@
+"""Power analysis tests."""
+
+import pytest
+
+from repro.extract import estimate_parasitics
+from repro.power import analyze_power
+
+
+@pytest.fixture()
+def counter_power(ffet_lib, counter8):
+    extraction = estimate_parasitics(counter8, ffet_lib)
+    return counter8, extraction
+
+
+class TestPowerReport:
+    def test_components_positive(self, ffet_lib, counter_power):
+        nl, extraction = counter_power
+        report = analyze_power(nl, ffet_lib, extraction, 1.0)
+        assert report.switching_mw > 0
+        assert report.internal_mw > 0
+        assert report.leakage_mw > 0
+        assert report.total_mw == pytest.approx(
+            report.switching_mw + report.internal_mw + report.leakage_mw)
+
+    def test_dynamic_scales_with_frequency(self, ffet_lib, counter_power):
+        nl, extraction = counter_power
+        p1 = analyze_power(nl, ffet_lib, extraction, 1.0)
+        p2 = analyze_power(nl, ffet_lib, extraction, 2.0)
+        assert p2.dynamic_mw == pytest.approx(2 * p1.dynamic_mw, rel=1e-6)
+        assert p2.leakage_mw == pytest.approx(p1.leakage_mw)
+
+    def test_activity_scales_switching(self, ffet_lib, counter_power):
+        nl, extraction = counter_power
+        lo = analyze_power(nl, ffet_lib, extraction, 1.0, activity=0.1)
+        hi = analyze_power(nl, ffet_lib, extraction, 1.0, activity=0.4)
+        # Clock power is activity independent, so the scaling is
+        # sub-linear but still strong.
+        assert hi.switching_mw > 1.5 * lo.switching_mw
+
+    def test_efficiency_metric(self, ffet_lib, counter_power):
+        nl, extraction = counter_power
+        report = analyze_power(nl, ffet_lib, extraction, 2.0)
+        assert report.efficiency_ghz_per_mw == pytest.approx(
+            2.0 / report.total_mw)
+
+    def test_bad_frequency_rejected(self, ffet_lib, counter_power):
+        nl, extraction = counter_power
+        with pytest.raises(ValueError):
+            analyze_power(nl, ffet_lib, extraction, 0.0)
+
+    def test_clock_cone_at_full_activity(self, ffet_lib, counter_power):
+        """Clock power must exceed the same net at data activity."""
+        nl, extraction = counter_power
+        base = analyze_power(nl, ffet_lib, extraction, 1.0)
+        # If the clock were treated as a data net, switching would drop.
+        fake = analyze_power(nl, ffet_lib, extraction, 1.0,
+                             clock="nonexistent")
+        assert base.switching_mw > fake.switching_mw
+
+    def test_leakage_matches_library(self, ffet_lib, counter_power):
+        nl, extraction = counter_power
+        report = analyze_power(nl, ffet_lib, extraction, 1.0)
+        expected_nw = sum(
+            ffet_lib[i.master].power.leakage_nw for i in nl.instances.values()
+        )
+        assert report.leakage_mw == pytest.approx(expected_nw * 1e-6)
+
+
+class TestArchComparison:
+    def test_ffet_leakage_equals_cfet(self, ffet_lib, cfet_lib):
+        """Table I: leakage identical across architectures."""
+        from repro.synth import generate_counter
+
+        reports = []
+        for lib in (ffet_lib, cfet_lib):
+            nl = generate_counter(8)
+            nl.bind(lib)
+            extraction = estimate_parasitics(nl, lib)
+            reports.append(analyze_power(nl, lib, extraction, 1.0))
+        assert reports[0].leakage_mw == pytest.approx(reports[1].leakage_mw)

@@ -1,0 +1,121 @@
+"""Powerplan tests: stripes, Power Tap Cells, nTSVs, capacity derating."""
+
+import pytest
+
+from repro.pnr import (
+    FloorplanSpec,
+    TAP_CELL_WIDTH_SITES,
+    plan_floor,
+    plan_power,
+)
+from repro.tech import make_cfet_node, make_ffet_node
+
+
+@pytest.fixture()
+def ffet_setup(ffet_lib, mult4):
+    die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+    return die, plan_power(ffet_lib.tech, die)
+
+
+class TestStripes:
+    def test_interleaved_pattern(self, ffet_setup):
+        _die, plan = ffet_setup
+        nets = [s.net for s in plan.stripes]
+        for a, b in zip(nets, nets[1:]):
+            assert a != b  # VSS/VDD alternate
+
+    def test_stripe_pitch(self, ffet_lib, mult4):
+        die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+        plan = plan_power(ffet_lib.tech, die)
+        xs = [s.x_nm for s in plan.stripes]
+        pitch = ffet_lib.tech.rules.power_stripe_pitch_nm
+        for a, b in zip(xs, xs[1:]):
+            assert b - a == pytest.approx(pitch)
+
+    def test_custom_pitch(self, ffet_lib, mult4):
+        die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.7))
+        dense = plan_power(ffet_lib.tech, die, stripe_pitch_cpp=32)
+        sparse = plan_power(ffet_lib.tech, die, stripe_pitch_cpp=128)
+        assert len(dense.stripes) > len(sparse.stripes)
+
+    def test_ffet_stripes_on_top_backside_signal_layer(self, ffet_setup):
+        _die, plan = ffet_setup
+        assert all(s.layer == "BM12" for s in plan.stripes)
+
+    def test_cfet_stripes_on_pdn_layers(self, cfet_lib, mult4):
+        import copy
+
+        from repro.synth import generate_multiplier
+
+        nl = generate_multiplier(4)
+        nl.bind(cfet_lib)
+        die = plan_floor(nl, cfet_lib, FloorplanSpec(0.7))
+        plan = plan_power(cfet_lib.tech, die)
+        assert all(s.layer == "BM2" for s in plan.stripes)
+
+
+class TestTapCells:
+    def test_ffet_taps_under_vss_stripes_only(self, ffet_setup):
+        die, plan = ffet_setup
+        vss_sites = {
+            min(die.site_of(s.x_nm), die.sites_per_row - TAP_CELL_WIDTH_SITES)
+            for s in plan.stripes if s.net == "VSS"
+        }
+        assert {t.site for t in plan.tap_cells} == vss_sites
+        assert all(t.name.startswith("ptap") for t in plan.tap_cells)
+
+    def test_one_tap_per_row_per_vss_stripe(self, ffet_setup):
+        die, plan = ffet_setup
+        n_vss = sum(1 for s in plan.stripes if s.net == "VSS")
+        assert len(plan.tap_cells) == n_vss * die.rows
+
+    def test_cfet_ntsvs_under_all_stripes(self, cfet_lib):
+        from repro.synth import generate_multiplier
+
+        nl = generate_multiplier(4)
+        nl.bind(cfet_lib)
+        die = plan_floor(nl, cfet_lib, FloorplanSpec(0.7))
+        plan = plan_power(cfet_lib.tech, die)
+        assert len(plan.tap_cells) == len(plan.stripes) * die.rows
+        assert all(t.name.startswith("ntsv") for t in plan.tap_cells)
+
+    def test_cfet_pays_more_placement_overhead(self, ffet_lib, cfet_lib):
+        """The CFET taps both BPR polarities -> lower utilization cap."""
+        from repro.pnr.geometry import Die
+
+        # Same die geometry for both, wide enough for several stripes.
+        die_f = Die(rows=40, sites_per_row=400, site_width_nm=50.0,
+                    row_height_nm=105.0)
+        die_c = Die(rows=40, sites_per_row=400, site_width_nm=50.0,
+                    row_height_nm=120.0)
+        plan_f = plan_power(ffet_lib.tech, die_f)
+        plan_c = plan_power(cfet_lib.tech, die_c)
+        assert plan_c.tap_site_fraction > plan_f.tap_site_fraction
+        assert plan_c.max_legal_utilization < plan_f.max_legal_utilization
+
+    def test_blocked_sites_shape(self, ffet_setup):
+        die, plan = ffet_setup
+        blocked = plan.blocked_sites()
+        assert blocked.shape == (die.rows, die.sites_per_row)
+        assert blocked.sum() == plan.tap_site_count
+
+
+class TestCapacityDerating:
+    def test_ffet_dual_pdn_derates_top_backside_layers(self, ffet_setup):
+        _die, plan = ffet_setup
+        assert plan.capacity_factor("BM12") < 1.0
+        assert plan.capacity_factor("BM11") < 1.0
+        assert plan.capacity_factor("BM5") == 1.0
+        assert plan.capacity_factor("FM12") == 1.0
+
+    def test_frontside_only_ffet_no_signal_derating(self, mult4):
+        lib_tech = make_ffet_node(12, 0)
+        from repro import build_library
+        from repro.synth import generate_multiplier
+
+        lib = build_library(lib_tech)
+        nl = generate_multiplier(4)
+        nl.bind(lib)
+        die = plan_floor(nl, lib, FloorplanSpec(0.7))
+        plan = plan_power(lib.tech, die)
+        assert plan.layer_capacity_factor == {}

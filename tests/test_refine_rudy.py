@@ -1,0 +1,129 @@
+"""Detailed-placement refinement and RUDY congestion estimation tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pnr import (
+    FloorplanSpec,
+    place,
+    plan_floor,
+    plan_power,
+    refine_placement,
+)
+from repro.pnr.routing import rudy_map, peak_congestion_estimate
+
+
+@pytest.fixture()
+def placed(ffet_lib, mult4):
+    die = plan_floor(mult4, ffet_lib, FloorplanSpec(0.6))
+    powerplan = plan_power(ffet_lib.tech, die)
+    placement = place(mult4, ffet_lib, die, powerplan, seed=0)
+    return die, powerplan, placement
+
+
+class TestRefinement:
+    def test_hpwl_never_worse(self, ffet_lib, mult4, placed):
+        die, powerplan, placement = placed
+        report = refine_placement(mult4, ffet_lib, placement, powerplan,
+                                  iterations=800, seed=1)
+        assert report.hpwl_after_nm <= report.hpwl_before_nm + 1e-6
+        assert placement.hpwl_nm(mult4) == pytest.approx(
+            report.hpwl_after_nm)
+
+    def test_improves_a_shuffled_placement(self, ffet_lib, mult4, placed):
+        import random
+
+        die, powerplan, placement = placed
+        # Shuffle same-width cells to destroy locality, keeping legality.
+        widths = {}
+        for name, inst in mult4.instances.items():
+            w = max(1, math.ceil(ffet_lib[inst.master].width_cpp))
+            widths.setdefault(w, []).append(name)
+        rng = random.Random(0)
+        for group in widths.values():
+            spots = [placement.locations[n] for n in group]
+            rng.shuffle(spots)
+            for name, spot in zip(group, spots):
+                placement.locations[name] = spot
+        report = refine_placement(mult4, ffet_lib, placement, powerplan,
+                                  iterations=4000, seed=2)
+        assert report.swaps > 0
+        assert report.improvement > 0.05
+
+    def test_legality_preserved(self, ffet_lib, mult4, placed):
+        die, powerplan, placement = placed
+        refine_placement(mult4, ffet_lib, placement, powerplan,
+                         iterations=500, seed=3)
+        occupied = {}
+        blocked = powerplan.blocked_sites()
+        for name, p in placement.locations.items():
+            master = ffet_lib[mult4.instances[name].master]
+            w = max(1, math.ceil(master.width_cpp))
+            row = int(p.y_nm // die.row_height_nm)
+            start = round(p.x_nm / die.site_width_nm - w / 2)
+            for site in range(start, start + w):
+                assert not blocked[row, site], name
+                assert (row, site) not in occupied
+                occupied[(row, site)] = name
+
+    def test_deterministic(self, ffet_lib, mult4, placed):
+        die, powerplan, placement = placed
+        import copy
+
+        snap = dict(placement.locations)
+        r1 = refine_placement(mult4, ffet_lib, placement, powerplan,
+                              iterations=300, seed=7)
+        placement.locations = snap
+        r2 = refine_placement(mult4, ffet_lib, placement, powerplan,
+                              iterations=300, seed=7)
+        assert r1 == r2
+
+
+class TestRudy:
+    def test_shape_and_positive(self, ffet_lib, mult4, placed):
+        die, _powerplan, placement = placed
+        demand = rudy_map(mult4, placement, die)
+        assert demand.ndim == 2
+        assert demand.sum() > 0
+
+    def test_tracks_total_wirelength(self, ffet_lib, mult4, placed):
+        die, _powerplan, placement = placed
+        demand = rudy_map(mult4, placement, die)
+        hpwl = placement.hpwl_nm(mult4)
+        # Gcell discretization inflates sub-gcell nets, so the spread
+        # demand brackets total HPWL loosely rather than matching it.
+        assert 0.5 * hpwl < demand.sum() * 480.0 < 5.0 * hpwl
+
+    def test_peak_estimate_scales_with_capacity(self, ffet_lib, mult4,
+                                                placed):
+        die, _powerplan, placement = placed
+        loose = peak_congestion_estimate(mult4, placement, die, 100.0)
+        tight = peak_congestion_estimate(mult4, placement, die, 10.0)
+        assert tight == pytest.approx(10 * loose)
+
+    def test_correlates_with_router_usage(self, ffet_lib):
+        """RUDY hotspots should coincide with real router hotspots."""
+        from repro.core import FlowConfig, run_flow
+        from repro.synth import generate_multiplier
+        from repro.tech import Side
+
+        art = run_flow(lambda: generate_multiplier(8),
+                       FlowConfig(arch="ffet", utilization=0.7,
+                                  backside_pin_fraction=0.0,
+                                  back_layers=0),
+                       return_artifacts=True)
+        demand = rudy_map(art.netlist, art.placement, art.die)
+        rr = art.routing_results[Side.FRONT]
+        usage = np.zeros((rr.grid.rows, rr.grid.cols))
+        for route in rr.routes.values():
+            for (c1, r1), (c2, r2) in route.edges:
+                usage[min(r1, r2), min(c1, c2)] += 1
+        h = min(demand.shape[0], usage.shape[0])
+        w = min(demand.shape[1], usage.shape[1])
+        a = demand[:h, :w].ravel()
+        b = usage[:h, :w].ravel()
+        if a.std() > 0 and b.std() > 0:
+            corr = np.corrcoef(a, b)[0, 1]
+            assert corr > 0.3

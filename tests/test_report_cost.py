@@ -1,0 +1,110 @@
+"""Report rendering and BEOL cost model tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_heatmap,
+    beol_cost,
+    congestion_map,
+    cost_efficiency,
+    layout_summary,
+    placement_density_map,
+)
+from repro.tech import make_cfet_node, make_ffet_node
+
+
+class TestHeatmap:
+    def test_shape(self):
+        art = ascii_heatmap(np.ones((4, 8)))
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 8 for line in lines)
+
+    def test_intensity_ramp(self):
+        values = np.array([[0.0, 0.5, 1.0]])
+        art = ascii_heatmap(values)
+        assert art[0] == " "
+        assert art[-1] == "@"
+
+    def test_downsampling(self):
+        art = ascii_heatmap(np.ones((2, 200)), max_width=50)
+        assert len(art.splitlines()[0]) <= 50
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.ones(5))
+
+    def test_row_zero_at_bottom(self):
+        values = np.zeros((2, 1))
+        values[0, 0] = 1.0  # row 0 should render at the bottom
+        lines = ascii_heatmap(values).splitlines()
+        assert lines[-1] == "@"
+        assert lines[0] == " "
+
+
+class TestFlowReports:
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        from repro.core import FlowConfig, run_flow
+        from repro.synth import generate_multiplier
+
+        config = FlowConfig(arch="ffet", utilization=0.6,
+                            backside_pin_fraction=0.5)
+        return run_flow(lambda: generate_multiplier(6), config,
+                        return_artifacts=True)
+
+    def test_layout_summary(self, artifacts):
+        text = layout_summary(artifacts)
+        assert "utilization" in text
+        assert "DRVs" in text and "GHz" in text
+
+    def test_congestion_map(self, artifacts):
+        from repro.tech import Side
+
+        art = congestion_map(artifacts.routing_results[Side.FRONT])
+        assert len(art.splitlines()) == \
+            artifacts.routing_results[Side.FRONT].grid.rows
+
+    def test_density_map(self, artifacts):
+        art = placement_density_map(artifacts.placement, artifacts.netlist,
+                                    artifacts.library, bins=16)
+        assert len(art.splitlines()) == 16
+
+
+class TestBeolCost:
+    def test_more_layers_cost_more(self):
+        cheap = beol_cost(make_ffet_node(4, 4))
+        rich = beol_cost(make_ffet_node(12, 12))
+        assert rich.total > cheap.total
+
+    def test_backside_enablement_charged_once(self):
+        single = beol_cost(make_ffet_node(12, 0))
+        dual = beol_cost(make_ffet_node(6, 6))
+        assert single.backside_enablement == 0.0
+        assert dual.backside_enablement > 0.0
+
+    def test_split_cheaper_than_two_full_stacks(self):
+        split = beol_cost(make_ffet_node(6, 6))
+        full = beol_cost(make_ffet_node(12, 12))
+        assert split.total < full.total
+
+    def test_fine_pitch_layers_cost_more(self):
+        # FM2 (30 nm) needs EUV double patterning, FM1 (34 nm) EUV single.
+        two = beol_cost(make_ffet_node(2, 0))
+        assert two.front_passes == pytest.approx(4.0 + 2.5)
+
+    def test_cfet_backside_free(self):
+        cost = beol_cost(make_cfet_node())
+        assert cost.back_passes == 0.0
+        assert cost.backside_enablement == 0.0
+
+    def test_cost_efficiency_metric(self):
+        class Stub:
+            achieved_frequency_ghz = 2.0
+            total_power_mw = 4.0
+
+        tech = make_ffet_node(6, 6)
+        value = cost_efficiency(Stub(), tech)
+        assert value == pytest.approx(
+            2.0 / (4.0 * beol_cost(tech).total))

@@ -1,0 +1,49 @@
+"""SPEF writer/parser tests."""
+
+import pytest
+
+from repro.extract import estimate_parasitics, parse_spef, write_spef
+
+
+@pytest.fixture()
+def spef_text(ffet_lib, counter8):
+    extraction = estimate_parasitics(counter8, ffet_lib)
+    return counter8, extraction, write_spef(counter8, extraction)
+
+
+class TestSpef:
+    def test_header(self, spef_text):
+        _nl, _ext, text = spef_text
+        assert '*SPEF "IEEE 1481-1998"' in text
+        assert '*DESIGN "counter"' in text
+        assert "*C_UNIT 1 FF" in text
+
+    def test_every_net_present(self, spef_text):
+        nl, ext, text = spef_text
+        parsed = parse_spef(text)
+        assert set(parsed) == set(nl.nets)
+
+    def test_total_caps_match(self, spef_text):
+        _nl, ext, text = spef_text
+        parsed = parse_spef(text)
+        for name, net in parsed.items():
+            assert net.total_cap_ff == pytest.approx(
+                ext[name].total_cap_ff, abs=1e-4)
+
+    def test_connectivity_round_trip(self, spef_text):
+        nl, _ext, text = spef_text
+        parsed = parse_spef(text)
+        for name, net in nl.nets.items():
+            spef_net = parsed[name]
+            if net.driver is not None:
+                assert spef_net.driver == net.driver
+            assert sorted(spef_net.sinks) == sorted(net.sinks)
+
+    def test_wire_rc_round_trip(self, spef_text):
+        _nl, ext, text = spef_text
+        parsed = parse_spef(text)
+        for name, spef_net in parsed.items():
+            assert spef_net.wire_cap_ff == pytest.approx(
+                ext[name].wire_cap_ff, abs=1e-4)
+            assert spef_net.wire_res_kohm == pytest.approx(
+                ext[name].wire_res_kohm, abs=1e-4)

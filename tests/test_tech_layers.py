@@ -1,0 +1,100 @@
+"""Unit tests for layer geometry and derived RC parameters."""
+
+import pytest
+
+from repro.tech import Direction, Layer, LayerPurpose, Side, Via
+
+
+def make_layer(pitch=30.0, name="FM2", side=Side.FRONT, index=2,
+               direction=Direction.HORIZONTAL):
+    return Layer(name, side, index, pitch, direction)
+
+
+class TestSide:
+    def test_opposite(self):
+        assert Side.FRONT.opposite is Side.BACK
+        assert Side.BACK.opposite is Side.FRONT
+
+    def test_str(self):
+        assert str(Side.FRONT) == "front"
+
+
+class TestLayerGeometry:
+    def test_width_is_half_pitch(self):
+        assert make_layer(30.0).width_nm == 15.0
+
+    def test_spacing_is_half_pitch(self):
+        assert make_layer(42.0).spacing_nm == 21.0
+
+    def test_thickness_uses_aspect_ratio(self):
+        layer = make_layer(30.0)
+        assert layer.thickness_nm == pytest.approx(2.0 * layer.width_nm)
+
+    def test_zero_pitch_rejected(self):
+        with pytest.raises(ValueError):
+            make_layer(0.0)
+
+    def test_negative_pitch_rejected(self):
+        with pytest.raises(ValueError):
+            make_layer(-5.0)
+
+
+class TestLayerElectrical:
+    def test_narrow_layer_more_resistive(self):
+        narrow = make_layer(30.0)
+        wide = make_layer(720.0, name="FM12", index=12)
+        assert narrow.resistance_kohm_per_um > 10 * wide.resistance_kohm_per_um
+
+    def test_resistance_plausible_for_m2(self):
+        # ~0.1-1 kOhm/um at a 15 nm line is the right ballpark for 5 nm.
+        r = make_layer(30.0).resistance_kohm_per_um
+        assert 0.1 < r < 2.0
+
+    def test_capacitance_plausible(self):
+        c = make_layer(30.0).capacitance_ff_per_um
+        assert 0.1 < c < 0.5
+
+    def test_capacitance_similar_across_pitches(self):
+        # Per-um capacitance is only weakly pitch dependent.
+        c_narrow = make_layer(30.0).capacitance_ff_per_um
+        c_wide = make_layer(720.0, name="FM12", index=12).capacitance_ff_per_um
+        assert 0.3 < c_narrow / c_wide < 3.0
+
+
+class TestLayerPurpose:
+    def test_signal_layers_routable(self):
+        assert make_layer().is_routable
+
+    def test_m0_not_routable(self):
+        layer = Layer("FM0", Side.FRONT, 0, 28.0, Direction.HORIZONTAL,
+                      LayerPurpose.INTRA_CELL)
+        assert not layer.is_routable
+
+    def test_power_layer_not_routable(self):
+        layer = Layer("BM1", Side.BACK, 1, 3200.0, Direction.VERTICAL,
+                      LayerPurpose.POWER)
+        assert not layer.is_routable
+
+
+class TestVia:
+    def test_same_side_required(self):
+        front = make_layer()
+        back = Layer("BM2", Side.BACK, 2, 30.0, Direction.HORIZONTAL)
+        with pytest.raises(ValueError):
+            Via(front, back)
+
+    def test_resistance_positive(self):
+        a = make_layer(30.0, "FM2", index=2)
+        b = make_layer(42.0, "FM3", index=3, direction=Direction.VERTICAL)
+        assert Via(a, b).resistance_kohm > 0
+
+    def test_small_cut_more_resistive(self):
+        lo = make_layer(30.0, "FM2", index=2)
+        hi = make_layer(42.0, "FM3", index=3)
+        top = make_layer(720.0, "FM12", index=12)
+        assert Via(lo, hi).resistance_kohm > Via(hi, top).resistance_kohm
+
+    def test_name(self):
+        a = make_layer(30.0, "FM2", index=2)
+        b = make_layer(42.0, "FM3", index=3)
+        assert Via(a, b).name == "VIA_FM2_FM3"

@@ -1,0 +1,81 @@
+"""Tech-node factories and routing-layer configuration."""
+
+import pytest
+
+from repro.tech import Side, make_cfet_node, make_ffet_node
+
+
+class TestCellGeometry:
+    def test_ffet_height(self):
+        assert make_ffet_node().cell_height_nm == pytest.approx(105.0)
+
+    def test_cfet_height(self):
+        assert make_cfet_node().cell_height_nm == pytest.approx(120.0)
+
+    def test_height_ratio_is_fig1_scaling(self):
+        # 3.5T / 4T = 12.5 % cell-height scaling (Fig. 1 / Fig. 4).
+        ratio = make_ffet_node().cell_height_nm / make_cfet_node().cell_height_nm
+        assert ratio == pytest.approx(0.875)
+
+    def test_site_area(self):
+        node = make_ffet_node()
+        assert node.site_area_nm2 == pytest.approx(50.0 * 105.0)
+
+
+class TestRoutingConfig:
+    def test_default_ffet_dual_sided(self):
+        node = make_ffet_node()
+        assert node.routing_layer_count == (12, 12)
+        assert node.uses_backside_signals
+
+    def test_ffet_frontside_only(self):
+        node = make_ffet_node(12, 0)
+        assert node.routing_layer_count == (12, 0)
+        assert not node.uses_backside_signals
+        assert node.routing_layers(Side.BACK) == []
+
+    def test_cfet_never_backside(self):
+        node = make_cfet_node()
+        assert node.routing_layer_count == (12, 0)
+        with pytest.raises(ValueError):
+            node.with_routing_layers(12, 2)
+
+    def test_with_routing_layers(self):
+        node = make_ffet_node().with_routing_layers(6, 6)
+        assert node.routing_layer_count == (6, 6)
+        assert node.routing_label == "FM6BM6"
+
+    def test_label_single_sided(self):
+        assert make_ffet_node(12, 0).routing_label == "FM12"
+
+    def test_too_many_layers_rejected(self):
+        with pytest.raises(ValueError):
+            make_ffet_node(13, 0)
+        with pytest.raises(ValueError):
+            make_ffet_node(12, 13)
+
+    def test_zero_front_rejected(self):
+        with pytest.raises(ValueError):
+            make_ffet_node().with_routing_layers(0, 4)
+
+
+class TestDeviceParams:
+    def test_same_intrinsic_transistor(self):
+        # Section IV: same two-fin device, so identical drive/cap/leakage.
+        ffet, cfet = make_ffet_node().device, make_cfet_node().device
+        assert ffet.drive_resistance_kohm == cfet.drive_resistance_kohm
+        assert ffet.gate_cap_ff == cfet.gate_cap_ff
+        assert ffet.leakage_nw == cfet.leakage_nw
+
+    def test_ffet_smaller_intra_parasitics(self):
+        ffet, cfet = make_ffet_node().device, make_cfet_node().device
+        assert ffet.intra_cap_factor < cfet.intra_cap_factor
+        assert ffet.intra_res_factor < cfet.intra_res_factor
+
+    def test_split_gate_only_ffet(self):
+        assert make_ffet_node().has_split_gate
+        assert not make_cfet_node().has_split_gate
+
+    def test_dual_sided_pins_only_ffet(self):
+        assert make_ffet_node().dual_sided_pins
+        assert not make_cfet_node().dual_sided_pins

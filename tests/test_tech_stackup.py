@@ -1,0 +1,114 @@
+"""Stackup construction against the paper's Table II."""
+
+import pytest
+
+from repro.tech import (
+    TABLE_II,
+    LayerPurpose,
+    Side,
+    build_stackup,
+    pitch_for,
+)
+
+
+@pytest.fixture(scope="module")
+def ffet():
+    return build_stackup("ffet")
+
+
+@pytest.fixture(scope="module")
+def cfet():
+    return build_stackup("cfet")
+
+
+class TestTableII:
+    def test_pitch_lookup(self):
+        assert pitch_for("FM2", "ffet") == 30.0
+        assert pitch_for("BM1", "cfet") == 3200.0
+        assert pitch_for("BM1", "ffet") == 34.0
+
+    def test_absent_layers(self):
+        assert pitch_for("BPR", "ffet") is None
+        assert pitch_for("BM5", "cfet") is None
+        assert pitch_for("BM12", "cfet") is None
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            pitch_for("FM99", "ffet")
+
+    def test_unknown_tech(self):
+        with pytest.raises(ValueError):
+            pitch_for("FM2", "finfet")
+
+    def test_frontside_pitches_identical(self):
+        for name, (cfet_p, ffet_p) in TABLE_II.items():
+            if name.startswith("FM") or name == "Poly":
+                assert cfet_p == ffet_p, name
+
+
+class TestFfetStackup:
+    def test_symmetric_metal_counts(self, ffet):
+        front = [l for l in ffet.on_side(Side.FRONT) if l.index >= 0]
+        back = [l for l in ffet.on_side(Side.BACK) if l.index >= 0]
+        assert len(front) == len(back) == 13  # M0..M12
+
+    def test_symmetric_pitches(self, ffet):
+        # FFET's process symmetry: FMn pitch differs from BMn by at most
+        # the FM1/FM2 asymmetry the table itself carries.
+        for i in range(3, 13):
+            assert ffet.metal(Side.FRONT, i).pitch_nm == \
+                ffet.metal(Side.BACK, i).pitch_nm
+
+    def test_no_bpr(self, ffet):
+        assert "BPR" not in ffet
+
+    def test_routing_layers_exclude_m0(self, ffet):
+        names = [l.name for l in ffet.routing_layers(Side.FRONT)]
+        assert "FM0" not in names
+        assert len(names) == 12
+
+    def test_routing_layer_limit(self, ffet):
+        names = [l.name for l in ffet.routing_layers(Side.BACK, 6)]
+        assert names == [f"BM{i}" for i in range(1, 7)]
+
+    def test_backside_routable(self, ffet):
+        assert len(ffet.routing_layers(Side.BACK)) == 12
+
+
+class TestCfetStackup:
+    def test_bpr_present(self, cfet):
+        assert cfet["BPR"].purpose is LayerPurpose.POWER
+
+    def test_backside_pdn_only(self, cfet):
+        assert cfet.routing_layers(Side.BACK) == []
+        assert cfet["BM1"].purpose is LayerPurpose.POWER
+        assert cfet["BM2"].purpose is LayerPurpose.POWER
+
+    def test_no_bm0(self, cfet):
+        assert "BM0" not in cfet
+
+    def test_frontside_routing(self, cfet):
+        assert len(cfet.routing_layers(Side.FRONT)) == 12
+
+
+class TestStackupInvariants:
+    def test_directions_alternate(self, ffet):
+        for side in (Side.FRONT, Side.BACK):
+            layers = ffet.routing_layers(side)
+            for lo, hi in zip(layers, layers[1:]):
+                assert lo.direction is not hi.direction
+
+    def test_vias_cover_all_adjacent_pairs(self, ffet):
+        vias = ffet.vias(Side.FRONT)
+        assert len(vias) == 12  # M0-M1 .. M11-M12
+
+    def test_duplicate_layer_rejected(self, ffet):
+        from repro.tech import Stackup
+
+        layer = ffet["FM2"]
+        with pytest.raises(ValueError):
+            Stackup("dup", [layer, layer])
+
+    def test_unknown_tech_rejected(self):
+        with pytest.raises(ValueError):
+            build_stackup("gaafet")

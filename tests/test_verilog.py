@@ -1,0 +1,74 @@
+"""Structural Verilog round-trip tests."""
+
+import pytest
+
+from repro.netlist import parse_verilog, write_verilog
+from repro.synth import generate_counter
+
+
+class TestRoundTrip:
+    def test_counter_round_trip(self, ffet_lib):
+        nl = generate_counter(4)
+        nl.bind(ffet_lib)
+        text = write_verilog(nl)
+        back = parse_verilog(text)
+        back.bind(ffet_lib)
+        assert back.name == nl.name
+        assert set(back.instances) == set(nl.instances)
+        assert set(back.nets) == set(nl.nets)
+        for name, inst in nl.instances.items():
+            assert back.instances[name].master == inst.master
+            assert back.instances[name].connections == inst.connections
+
+    def test_ports_preserved(self, ffet_lib):
+        nl = generate_counter(4)
+        nl.bind(ffet_lib)
+        back = parse_verilog(write_verilog(nl))
+        assert {n.name for n in back.primary_inputs} == \
+            {n.name for n in nl.primary_inputs}
+        assert {n.name for n in back.primary_outputs} == \
+            {n.name for n in nl.primary_outputs}
+
+
+class TestWriter:
+    def test_contains_module_header(self, counter8):
+        text = write_verilog(counter8)
+        assert text.startswith("module counter (")
+        assert text.rstrip().endswith("endmodule")
+
+    def test_declares_wires(self, counter8):
+        text = write_verilog(counter8)
+        assert "  wire " in text
+        assert "  input en;" in text
+
+
+class TestParser:
+    def test_simple_module(self):
+        nl = parse_verilog("""
+            // a comment
+            module m (a, z);
+              input a;
+              output z;
+              INVD1 u1 (.A(a), .ZN(z));
+            endmodule
+        """)
+        assert nl.name == "m"
+        assert nl.instances["u1"].master == "INVD1"
+
+    def test_block_comments_stripped(self):
+        nl = parse_verilog(
+            "module m (a);/* inline */ input a; endmodule"
+        )
+        assert nl.name == "m"
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(ValueError):
+            parse_verilog("wire x;")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(ValueError):
+            parse_verilog("module m (a); input a;")
+
+    def test_garbage_statement_rejected(self):
+        with pytest.raises(ValueError):
+            parse_verilog("module m (a); input a; assign a = 1; endmodule")
