@@ -1,0 +1,108 @@
+"""Benchmark the SweepRunner: warm-cache speedup and pool scaling.
+
+Measures the two acceptance claims for the parallel+cache subsystem:
+
+1. a repeated ``utilization_sweep`` (second invocation, warm cache)
+   must be >= 5x faster than the cold first pass;
+2. ``jobs=4`` vs ``jobs=1`` wall-clock on a cold Fig. 9-style
+   frequency sweep (pool benefit scales with available cores).
+
+Writes a report to stdout and ``results/bench_runner.txt``::
+
+    PYTHONPATH=src python scripts/bench_runner.py
+"""
+
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import FlowCache, FlowConfig, SweepRunner
+from repro.core.sweeps import frequency_sweep, utilization_sweep
+from repro.synth import RiscvConfig, generate_riscv_core
+
+REPO = Path(__file__).resolve().parent.parent
+UTILIZATIONS = (0.50, 0.56, 0.62, 0.70, 0.76, 0.80)
+FREQ_TARGETS = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+
+
+class Rv16Factory:
+    """Picklable factory for the scaled-down (xlen=16) RISC-V core."""
+
+    def __call__(self):
+        return generate_riscv_core(RiscvConfig(xlen=16, nregs=16,
+                                               name="rv16"))
+
+
+def bench_cache(lines) -> None:
+    config = FlowConfig(arch="ffet", backside_pin_fraction=0.5)
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = SweepRunner(jobs=1, cache=FlowCache(tmp))
+        t0 = time.perf_counter()
+        cold = utilization_sweep(Rv16Factory(), config, UTILIZATIONS,
+                                 runner=runner)
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = utilization_sweep(Rv16Factory(), config, UTILIZATIONS,
+                                 runner=runner)
+        warm_s = time.perf_counter() - t0
+
+    assert warm == cold, "warm-cache sweep changed the results"
+    speedup = cold_s / warm_s
+    lines.append(f"[1] utilization_sweep, {len(UTILIZATIONS)} points, rv16")
+    lines.append(f"    cold (serial, empty cache): {cold_s:8.2f} s")
+    lines.append(f"    warm (second invocation):   {warm_s:8.2f} s")
+    lines.append(f"    speedup: {speedup:.0f}x "
+                 f"({'PASS' if speedup >= 5 else 'FAIL'}: >= 5x required), "
+                 f"results bit-identical")
+
+
+def bench_jobs(lines) -> None:
+    config = FlowConfig(arch="ffet", back_layers=0,
+                        backside_pin_fraction=0.0, utilization=0.70)
+    timings = {}
+    for jobs in (1, 4):
+        runner = SweepRunner(jobs=jobs, cache=None)
+        t0 = time.perf_counter()
+        runs = frequency_sweep(Rv16Factory(), config, FREQ_TARGETS,
+                               runner=runner)
+        timings[jobs] = time.perf_counter() - t0
+        assert all(r.valid for r in runs)
+    ratio = timings[1] / timings[4]
+    cores = os.cpu_count() or 1
+    lines.append(f"[2] cold Fig. 9 frequency sweep, {len(FREQ_TARGETS)} "
+                 f"targets, rv16, no cache")
+    lines.append(f"    jobs=1 (serial):            {timings[1]:8.2f} s")
+    lines.append(f"    jobs=4 (process pool):      {timings[4]:8.2f} s")
+    lines.append(f"    jobs=4 speedup over jobs=1: {ratio:.2f}x")
+    if cores > 1:
+        lines.append(f"    ({'PASS' if ratio > 1 else 'FAIL'}: jobs=4 must "
+                     f"beat jobs=1 on this {cores}-core host)")
+    else:
+        lines.append("    (note: only 1 CPU visible to this host, so the "
+                     "pool cannot win here by construction; CI's "
+                     "parallel-sweep-smoke job exercises jobs=2 on "
+                     "multi-core runners)")
+
+
+def main() -> None:
+    lines = [
+        "SweepRunner benchmark",
+        f"host: {platform.platform()}, python {platform.python_version()}, "
+        f"{os.cpu_count()} cpu(s) visible",
+        "",
+    ]
+    bench_cache(lines)
+    lines.append("")
+    bench_jobs(lines)
+    report = "\n".join(lines) + "\n"
+    print(report)
+    out = REPO / "results" / "bench_runner.txt"
+    out.write_text(report)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

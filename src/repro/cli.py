@@ -5,12 +5,17 @@ Usage (after ``pip install -e .``)::
     python -m repro characterize --arch ffet --liberty ffet.lib
     python -m repro run --arch ffet --utilization 0.76 --backside 0.5
     python -m repro sweep utilization --arch cfet --points 0.5 0.6 0.7
-    python -m repro sweep frequency --targets 0.5 1.5 3.0
+    python -m repro sweep frequency --targets 0.5 1.5 3.0 --jobs 4
     python -m repro doe pin-density --fractions 0.04 0.3 0.5
     python -m repro compare
+    python -m repro cache info
 
 Every experiment subcommand accepts ``--xlen/--nregs`` to size the
 RISC-V benchmark core and ``--json``/``--csv`` to save results.
+Independent flow runs fan out over ``--jobs`` worker processes
+(``$REPRO_JOBS`` sets the default) and completed points are served from
+the content-addressed result cache unless ``--no-cache`` is given; see
+docs/performance.md.
 """
 
 from __future__ import annotations
@@ -20,10 +25,10 @@ import sys
 
 from . import build_library, make_cfet_node, make_ffet_node
 from .cells import format_kpi_table, library_kpi_diff, write_liberty
-from .core import FlowConfig, PPAResult
+from .core import FlowCache, FlowConfig, PPAResult, SweepRunner
 from .core.doe import cooptimization_table, pin_density_doe
 from .core.io import results_to_csv, results_to_json
-from .core.sweeps import frequency_sweep, try_run, utilization_sweep
+from .core.sweeps import frequency_sweep, utilization_sweep
 from .synth import RiscvConfig, generate_riscv_core
 
 
@@ -52,6 +57,24 @@ def _add_output_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--csv", metavar="FILE", help="write results CSV")
 
 
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="parallel flow workers (default: $REPRO_JOBS "
+                             "or 1; 0 = one per core)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every run, bypassing the result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+
+
+def _runner_from(args) -> SweepRunner:
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = FlowCache(getattr(args, "cache_dir", None))
+    return SweepRunner(jobs=getattr(args, "jobs", None), cache=cache)
+
+
 def _config_from(args) -> FlowConfig:
     back = args.back_layers
     if back is None:
@@ -68,14 +91,20 @@ def _config_from(args) -> FlowConfig:
     )
 
 
+class RiscvFactory:
+    """Picklable netlist factory (closures can't cross the process pool)."""
+
+    def __init__(self, xlen: int, nregs: int) -> None:
+        self.xlen = xlen
+        self.nregs = nregs
+
+    def __call__(self):
+        return generate_riscv_core(RiscvConfig(
+            xlen=self.xlen, nregs=self.nregs, name=f"rv{self.xlen}"))
+
+
 def _factory_from(args):
-    core = RiscvConfig(xlen=args.xlen, nregs=args.nregs,
-                       name=f"rv{args.xlen}")
-
-    def factory():
-        return generate_riscv_core(core)
-
-    return factory
+    return RiscvFactory(args.xlen, args.nregs)
 
 
 def _emit(args, runs) -> None:
@@ -102,7 +131,8 @@ def cmd_characterize(args) -> int:
 
 
 def cmd_run(args) -> int:
-    run = try_run(_factory_from(args), _config_from(args))
+    runner = _runner_from(args)
+    run = runner.run_one(_factory_from(args), _config_from(args))
     if isinstance(run, PPAResult):
         print(run.summary())
     else:
@@ -114,27 +144,31 @@ def cmd_run(args) -> int:
 def cmd_sweep(args) -> int:
     factory = _factory_from(args)
     config = _config_from(args)
+    runner = _runner_from(args)
     if args.axis == "utilization":
         points = args.points or [0.5, 0.6, 0.7, 0.76, 0.8, 0.86]
-        runs = utilization_sweep(factory, config, points)
+        runs = utilization_sweep(factory, config, points, runner=runner)
     else:
         targets = args.targets or [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
-        runs = frequency_sweep(factory, config, targets)
+        runs = frequency_sweep(factory, config, targets, runner=runner)
     for run in runs:
         print(run.summary() if isinstance(run, PPAResult)
               else f"FAILED ({run.target_utilization}): {run.reason}")
+    print(runner.stats.summary())
     _emit(args, runs)
     return 0
 
 
 def cmd_doe(args) -> int:
     factory = _factory_from(args)
+    runner = _runner_from(args)
     base = FlowConfig(arch="ffet", backside_pin_fraction=0.5,
                       target_frequency_ghz=args.frequency, seed=args.seed)
     if args.kind == "pin-density":
         clouds = pin_density_doe(factory, base, fractions=args.fractions,
                                  utilizations=args.points or
-                                 (0.52, 0.64, 0.76))
+                                 (0.52, 0.64, 0.76),
+                                 runner=runner)
         for cloud in sorted(clouds, key=lambda c: -c.merit):
             print(f"{cloud.label}: mean f={cloud.mean_frequency_ghz:.3f} GHz"
                   f" mean P={cloud.mean_power_mw:.3f} mW"
@@ -143,17 +177,20 @@ def cmd_doe(args) -> int:
     else:
         rows = cooptimization_table(factory, base,
                                     fractions=args.fractions,
-                                    utilization=args.utilization)
+                                    utilization=args.utilization,
+                                    runner=runner)
         for row in rows:
             print(f"FP{1 - row.backside_fraction:g}"
                   f"BP{row.backside_fraction:g} {row.pattern}: "
                   f"freq {row.frequency_diff:+.1%} "
                   f"power {row.power_diff:+.1%}")
+    print(runner.stats.summary())
     return 0
 
 
 def cmd_compare(args) -> int:
     factory = _factory_from(args)
+    runner = _runner_from(args)
     configs = {
         "CFET": FlowConfig(arch="cfet", back_layers=0,
                            backside_pin_fraction=0.0,
@@ -167,10 +204,10 @@ def cmd_compare(args) -> int:
                                 utilization=args.utilization,
                                 target_frequency_ghz=args.frequency),
     }
-    runs = {}
-    for name, config in configs.items():
-        runs[name] = try_run(factory, config)
-        print(runs[name].summary() if isinstance(runs[name], PPAResult)
+    results = runner.run_many(factory, list(configs.values()))
+    runs = dict(zip(configs, results))
+    for name, run in runs.items():
+        print(run.summary() if isinstance(run, PPAResult)
               else f"{name}: FAILED")
     cfet, ffet = runs["CFET"], runs["FFET FM12"]
     if isinstance(cfet, PPAResult) and isinstance(ffet, PPAResult):
@@ -178,7 +215,19 @@ def cmd_compare(args) -> int:
               f"{ffet.core_area_um2 / cfet.core_area_um2 - 1:+.1%}, "
               f"frequency {ffet.achieved_frequency_ghz / cfet.achieved_frequency_ghz - 1:+.1%}, "
               f"power {ffet.total_power_mw / cfet.total_power_mw - 1:+.1%}")
+    print(runner.stats.summary())
     _emit(args, list(runs.values()))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    cache = FlowCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.directory}")
+    else:
+        print(f"cache directory: {cache.directory}")
+        print(f"cached results: {len(cache)}")
     return 0
 
 
@@ -199,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_core_args(p)
     _add_config_args(p)
     _add_output_args(p)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="utilization or frequency sweep")
@@ -210,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_core_args(p)
     _add_config_args(p)
     _add_output_args(p)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("doe", help="Fig. 11 / Table III explorations")
@@ -222,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_core_args(p)
     _add_output_args(p)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_doe)
 
     p = sub.add_parser("compare", help="CFET vs FFET headline comparison")
@@ -230,7 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_core_args(p)
     _add_output_args(p)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("cache", help="inspect or clear the flow result cache")
+    p.add_argument("action", choices=("info", "clear"))
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    p.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -1,20 +1,31 @@
 """The FFET evaluation framework: flow, configs, sweeps and DoEs."""
 
 from .artifacts import save_artifacts
+from .cache import FlowCache, cache_key, code_fingerprint, netlist_fingerprint
 from .config import FlowConfig
 from .flow import FlowArtifacts, prepare_library, run_flow
 from .io import result_to_dict, results_to_csv, results_to_json
 from .ppa import FailedRun, PPAResult
+from .runner import RunRecord, SweepRunner, SweepStats, resolve_jobs, run_once
 
 __all__ = [
     "FailedRun",
     "FlowArtifacts",
+    "FlowCache",
     "FlowConfig",
     "PPAResult",
+    "RunRecord",
+    "SweepRunner",
+    "SweepStats",
+    "cache_key",
+    "code_fingerprint",
+    "netlist_fingerprint",
     "prepare_library",
+    "resolve_jobs",
     "result_to_dict",
     "results_to_csv",
     "results_to_json",
     "run_flow",
+    "run_once",
     "save_artifacts",
 ]

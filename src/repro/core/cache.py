@@ -1,0 +1,204 @@
+"""Content-addressed on-disk cache for flow results.
+
+Every flow run is a pure function of three inputs: the
+:class:`~repro.core.config.FlowConfig`, the netlist the factory
+produces, and the code that implements the flow.  The cache key is a
+SHA-256 over all three, so a hit is only possible when re-running would
+provably recompute the same :class:`~repro.core.ppa.PPAResult`:
+
+* **config** — every dataclass field except the ones in
+  :data:`NON_PPA_FIELDS` (annotations like ``tag`` that never reach the
+  flow);
+* **netlist fingerprint** — a structural hash of the instances, nets
+  and port directions (:func:`netlist_fingerprint`);
+* **version tag** — by default :func:`code_fingerprint`, a hash of every
+  ``repro`` source file, so editing the flow invalidates the whole
+  cache without any manual version bump.
+
+Entries are JSON files under ``<cache-dir>/<key[:2]>/<key>.json`` and
+round-trip :class:`PPAResult`/:class:`FailedRun` exactly (dataclass
+equality, bit-for-bit floats).  The directory defaults to
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.  ``FlowCache.clear()`` and
+``repro cache clear`` are the explicit invalidation paths; passing
+``cache=None`` to the runner (CLI ``--no-cache``) bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from ..netlist import Netlist
+from ..power import PowerReport
+from ..sta import TimingReport
+from .config import FlowConfig
+from .ppa import FailedRun, PPAResult
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: FlowConfig fields that never influence the flow's outcome and are
+#: therefore excluded from the cache key.
+NON_PPA_FIELDS = frozenset({"tag"})
+
+#: Bumped only on cache *format* changes (payload layout, key recipe).
+CACHE_FORMAT = 1
+
+_code_fingerprint: str | None = None
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def config_cache_fields(config: FlowConfig) -> dict:
+    """The PPA-relevant fields of a config, as JSON-stable values."""
+    out = {}
+    for f in dataclasses.fields(config):
+        if f.name in NON_PPA_FIELDS:
+            continue
+        out[f.name] = getattr(config, f.name)
+    return out
+
+
+def netlist_fingerprint(netlist: Netlist) -> str:
+    """Structural hash of a netlist (instances, connectivity, ports)."""
+    payload = {
+        "name": netlist.name,
+        "instances": sorted(
+            (name, inst.master, sorted(inst.connections.items()))
+            for name, inst in netlist.instances.items()
+        ),
+        "nets": sorted(
+            (net.name, net.is_primary_input, net.is_primary_output,
+             net.is_clock, list(net.driver) if net.driver else None)
+            for net in netlist.nets.values()
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file — the default version tag.
+
+    Any edit to the flow implementation changes this hash and thereby
+    invalidates all existing cache entries, which is what makes the
+    cache safe to leave on by default.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def cache_key(config: FlowConfig, netlist_fp: str,
+              version: str | None = None) -> str:
+    """Stable content hash of (config, netlist, code version)."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "config": config_cache_fields(config),
+        "netlist": netlist_fp,
+        "version": version if version is not None else code_fingerprint(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def result_to_payload(result: PPAResult | FailedRun) -> dict:
+    """Serialize a run result into a JSON-safe, round-trippable dict."""
+    if isinstance(result, FailedRun):
+        return {"kind": "failed", "data": dataclasses.asdict(result)}
+    return {"kind": "ppa", "data": dataclasses.asdict(result)}
+
+
+def result_from_payload(payload: dict) -> PPAResult | FailedRun:
+    """Inverse of :func:`result_to_payload`."""
+    data = dict(payload["data"])
+    if payload["kind"] == "failed":
+        return FailedRun(**data)
+    data["timing"] = TimingReport(**data["timing"])
+    data["power"] = PowerReport(**data["power"])
+    return PPAResult(**data)
+
+
+class FlowCache:
+    """Content-addressed store of flow results on disk.
+
+    Thread/process safe for concurrent writers via atomic rename;
+    corrupt or unreadable entries behave as misses.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None,
+                 version: str | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, config: FlowConfig, netlist_fp: str) -> str:
+        return cache_key(config, netlist_fp, version=self.version)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> PPAResult | FailedRun | None:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            result = result_from_payload(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: PPAResult | FailedRun) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = result_to_payload(result)
+        payload["key"] = key
+        payload["label"] = result.label
+        payload["created"] = time.time()
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        try:
+            self._path(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("??/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("??/*.json"))

@@ -35,6 +35,10 @@ class FlowConfig:
     #: Optional greedy detailed-placement refinement after legalization.
     refine_placement: bool = False
     refine_iterations: int = 2000
+    #: Free-form annotation for bookkeeping (sweep tags, experiment ids).
+    #: Never affects the flow, and is excluded from the result-cache key:
+    #: two configs differing only in ``tag`` share one cache entry.
+    tag: str = ""
 
     def __post_init__(self) -> None:
         if self.arch not in ("ffet", "cfet"):

@@ -19,7 +19,8 @@ from ..analysis import Ellipse, confidence_ellipse, relative_diff
 from ..netlist import Netlist
 from .config import FlowConfig
 from .ppa import FailedRun, PPAResult
-from .sweeps import DEFAULT_UTILIZATIONS, try_run, utilization_sweep
+from .runner import SweepRunner
+from .sweeps import DEFAULT_UTILIZATIONS, utilization_sweep
 
 #: The paper's five backside input-pin density DoEs (Fig. 11).
 PIN_DENSITY_DOES = (0.04, 0.16, 0.30, 0.40, 0.50)
@@ -53,14 +54,17 @@ def pin_density_doe(netlist_factory: Callable[[], Netlist],
                     base: FlowConfig | None = None,
                     fractions: Sequence[float] = PIN_DENSITY_DOES,
                     utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+                    runner: SweepRunner | None = None,
                     ) -> list[DoeCloud]:
     """Run the Fig. 11 experiment; one cloud per pin-density DoE."""
     base = base or FlowConfig(arch="ffet", front_layers=12, back_layers=12,
                               target_frequency_ghz=1.5)
+    runner = runner if runner is not None else SweepRunner()
     clouds = []
     for fraction in fractions:
         config = base.with_(backside_pin_fraction=fraction)
-        runs = utilization_sweep(netlist_factory, config, utilizations)
+        runs = utilization_sweep(netlist_factory, config, utilizations,
+                                 runner=runner)
         ok = tuple(r for r in runs if isinstance(r, PPAResult) and r.valid)
         ellipse = None
         if len(ok) >= 3:
@@ -108,7 +112,8 @@ def cooptimization_table(netlist_factory: Callable[[], Netlist],
                          fractions: Sequence[float] = PIN_DENSITY_DOES,
                          total_layers: int = 12,
                          utilization: float = 0.76,
-                         keep_top: int = 3) -> list[CooptRow]:
+                         keep_top: int = 3,
+                         runner: SweepRunner | None = None) -> list[CooptRow]:
     """Run the Table III co-optimization.
 
     The baseline is the single-sided FFET FM12 at the same utilization
@@ -117,21 +122,26 @@ def cooptimization_table(netlist_factory: Callable[[], Netlist],
     """
     base = base or FlowConfig(arch="ffet", front_layers=12, back_layers=12,
                               target_frequency_ghz=1.5)
+    runner = runner if runner is not None else SweepRunner()
     baseline_cfg = base.with_(front_layers=total_layers, back_layers=0,
                               backside_pin_fraction=0.0,
                               utilization=utilization)
-    baseline = try_run(netlist_factory, baseline_cfg)
+    baseline = runner.run_one(netlist_factory, baseline_cfg)
     if not isinstance(baseline, PPAResult):
         raise RuntimeError(f"baseline failed: {baseline.reason}")
 
+    splits = layer_splits(total_layers)
     rows: list[CooptRow] = []
     for fraction in fractions:
+        configs = [
+            base.with_(front_layers=front, back_layers=back,
+                       backside_pin_fraction=fraction,
+                       utilization=utilization)
+            for front, back in splits
+        ]
+        runs = runner.run_many(netlist_factory, configs)
         candidates: list[CooptRow] = []
-        for front, back in layer_splits(total_layers):
-            config = base.with_(front_layers=front, back_layers=back,
-                                backside_pin_fraction=fraction,
-                                utilization=utilization)
-            run = try_run(netlist_factory, config)
+        for (front, back), run in zip(splits, runs):
             if not isinstance(run, PPAResult):
                 continue
             candidates.append(CooptRow(

@@ -1,0 +1,225 @@
+"""Parallel sweep execution over a process pool, with result caching.
+
+The paper's headline figures are all sweeps — dozens of independent
+full-flow runs over utilization grids and pin-density DoEs — so the
+:class:`SweepRunner` is the one place fan-out, caching and timing are
+handled for every sweep entry point (``repro.core.sweeps``,
+``repro.core.doe``, the CLI and the ``scripts/run_*.py`` drivers):
+
+* ``jobs`` workers on a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``jobs=None`` reads ``$REPRO_JOBS``, defaulting to serial; ``jobs=0``
+  means one worker per core);
+* results come back in submission order regardless of completion order,
+  so parallel sweeps are drop-in replacements for the serial loops;
+* a worker hitting :class:`~repro.pnr.PlacementError` returns a
+  :class:`~repro.core.ppa.FailedRun` instead of poisoning the pool;
+* unpicklable factories/configs and broken pools degrade gracefully to
+  the serial path (counted in :attr:`SweepStats.serial_fallbacks`);
+* with a :class:`~repro.core.cache.FlowCache` attached, previously
+  computed (config, netlist, code-version) points are served from disk
+  and only the misses are executed.
+
+Per-run wall time and hit/miss counters accumulate in
+:attr:`SweepRunner.stats` and are printed by the CLI sweep summaries.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..netlist import Netlist
+from ..pnr import PlacementError
+from .cache import FlowCache, netlist_fingerprint
+from .config import FlowConfig
+from .flow import run_flow
+from .ppa import FailedRun, PPAResult
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: explicit > ``$REPRO_JOBS`` > 1 (serial).
+
+    ``0`` (or any non-positive count) means one worker per CPU core.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def run_once(netlist_factory: Callable[[], Netlist],
+             config: FlowConfig) -> PPAResult | FailedRun:
+    """Run one flow; a placement failure becomes a :class:`FailedRun`."""
+    try:
+        return run_flow(netlist_factory, config)
+    except PlacementError as exc:
+        return FailedRun(
+            label=config.label,
+            target_utilization=config.utilization,
+            reason=str(exc),
+        )
+
+
+def _timed_run(netlist_factory: Callable[[], Netlist],
+               config: FlowConfig) -> tuple[PPAResult | FailedRun, float]:
+    # Module-level so the process pool can pickle it as a task target.
+    start = time.perf_counter()
+    result = run_once(netlist_factory, config)
+    return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One sweep point: its config, outcome, wall time and provenance."""
+
+    config: FlowConfig
+    result: PPAResult | FailedRun
+    wall_time_s: float
+    cache_hit: bool = False
+
+
+@dataclass
+class SweepStats:
+    """Aggregated counters across every sweep a runner has executed."""
+
+    runs: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+    parallel_runs: int = 0
+    serial_fallbacks: int = 0
+    #: Summed per-run wall time (serial-equivalent cost).
+    run_time_s: float = 0.0
+    #: End-to-end time spent inside ``run_records`` calls.
+    elapsed_s: float = 0.0
+
+    def record(self, rec: RunRecord) -> None:
+        self.runs += 1
+        if rec.cache_hit:
+            self.cache_hits += 1
+        else:
+            self.executed += 1
+            self.run_time_s += rec.wall_time_s
+        if isinstance(rec.result, FailedRun):
+            self.failed += 1
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.runs} runs",
+            f"{self.cache_hits} cached",
+            f"{self.executed} executed ({self.parallel_runs} parallel)",
+        ]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.serial_fallbacks:
+            parts.append(f"{self.serial_fallbacks} serial fallbacks")
+        return (f"sweep: {', '.join(parts)} in {self.elapsed_s:.1f}s wall "
+                f"({self.run_time_s:.1f}s flow time)")
+
+
+class SweepRunner:
+    """Fans ``run_once`` calls out over a process pool, cache first.
+
+    One runner can serve many sweeps; its :attr:`stats` accumulate
+    across calls.  With ``jobs=1`` (the default without ``$REPRO_JOBS``)
+    everything runs serially in-process, which keeps library master
+    caches warm and behavior identical to the historical loops.
+    """
+
+    def __init__(self, jobs: int | None = None,
+                 cache: FlowCache | None = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.stats = SweepStats()
+
+    # -- public API ---------------------------------------------------------
+    def run_one(self, netlist_factory: Callable[[], Netlist],
+                config: FlowConfig) -> PPAResult | FailedRun:
+        return self.run_records(netlist_factory, [config])[0].result
+
+    def run_many(self, netlist_factory: Callable[[], Netlist],
+                 configs: Sequence[FlowConfig]
+                 ) -> list[PPAResult | FailedRun]:
+        return [rec.result
+                for rec in self.run_records(netlist_factory, configs)]
+
+    def run_records(self, netlist_factory: Callable[[], Netlist],
+                    configs: Sequence[FlowConfig]) -> list[RunRecord]:
+        """Run every config; records come back in ``configs`` order."""
+        configs = list(configs)
+        started = time.perf_counter()
+        records: list[RunRecord | None] = [None] * len(configs)
+        keys: list[str | None] = [None] * len(configs)
+        pending = list(range(len(configs)))
+
+        duplicates: list[tuple[int, int]] = []
+        if self.cache is not None and configs:
+            fingerprint = netlist_fingerprint(netlist_factory())
+            misses = []
+            first_miss: dict[str, int] = {}
+            for i in pending:
+                keys[i] = self.cache.key_for(configs[i], fingerprint)
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    records[i] = RunRecord(configs[i], hit, 0.0,
+                                           cache_hit=True)
+                elif keys[i] in first_miss:
+                    # Identical point twice in one batch: run it once.
+                    duplicates.append((i, first_miss[keys[i]]))
+                else:
+                    first_miss[keys[i]] = i
+                    misses.append(i)
+            pending = misses
+
+        if pending:
+            outcomes = None
+            if self.jobs > 1 and len(pending) > 1:
+                outcomes = self._run_pool(
+                    netlist_factory, [configs[i] for i in pending])
+            if outcomes is None:
+                outcomes = [_timed_run(netlist_factory, configs[i])
+                            for i in pending]
+            else:
+                self.stats.parallel_runs += len(pending)
+            for i, (result, wall) in zip(pending, outcomes):
+                records[i] = RunRecord(configs[i], result, wall)
+                if self.cache is not None and keys[i] is not None:
+                    self.cache.put(keys[i], result)
+        for i, source in duplicates:
+            records[i] = RunRecord(configs[i], records[source].result, 0.0,
+                                   cache_hit=True)
+
+        for rec in records:
+            self.stats.record(rec)
+        self.stats.elapsed_s += time.perf_counter() - started
+        return records
+
+    # -- internals ----------------------------------------------------------
+    def _run_pool(self, netlist_factory, configs):
+        """Pool execution in submission order; None -> use serial path."""
+        try:
+            pickle.dumps((netlist_factory, configs))
+        except Exception:
+            self.stats.serial_fallbacks += 1
+            return None
+        workers = min(self.jobs, len(configs))
+        try:
+            with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                tasks = [pool.submit(_timed_run, netlist_factory, config)
+                         for config in configs]
+                return [task.result() for task in tasks]
+        except (futures.process.BrokenProcessPool, OSError, ImportError):
+            self.stats.serial_fallbacks += 1
+            return None

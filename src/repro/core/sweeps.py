@@ -3,6 +3,11 @@
 Each function returns plain result rows; the benchmarks print them in
 the same shape as the corresponding paper figure, and EXPERIMENTS.md
 records paper-vs-measured values.
+
+Every sweep accepts an optional :class:`~repro.core.runner.SweepRunner`
+that fans the independent flow runs out over a process pool and serves
+repeated points from the on-disk result cache.  Without one, a private
+serial runner is used and behavior matches the historical loops.
 """
 
 from __future__ import annotations
@@ -11,10 +16,9 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..netlist import Netlist
-from ..pnr import PlacementError
 from .config import FlowConfig
-from .flow import prepare_library, run_flow
 from .ppa import FailedRun, PPAResult
+from .runner import SweepRunner, run_once
 
 #: Utilization grid used by the paper's utilization sweeps (Fig. 8, 11).
 DEFAULT_UTILIZATIONS = tuple(round(0.46 + 0.05 * i, 2) for i in range(9))
@@ -23,31 +27,29 @@ DEFAULT_UTILIZATIONS = tuple(round(0.46 + 0.05 * i, 2) for i in range(9))
 def try_run(netlist_factory: Callable[[], Netlist],
             config: FlowConfig) -> PPAResult | FailedRun:
     """Run one flow; a placement failure becomes a :class:`FailedRun`."""
-    library = prepare_library(config)
-    try:
-        return run_flow(netlist_factory, config, library=library)
-    except PlacementError as exc:
-        return FailedRun(
-            label=config.label,
-            target_utilization=config.utilization,
-            reason=str(exc),
-        )
+    return run_once(netlist_factory, config)
+
+
+def _runner(runner: SweepRunner | None) -> SweepRunner:
+    return runner if runner is not None else SweepRunner()
 
 
 def utilization_sweep(netlist_factory: Callable[[], Netlist],
                       config: FlowConfig,
-                      utilizations: Sequence[float] = DEFAULT_UTILIZATIONS
+                      utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+                      runner: SweepRunner | None = None,
                       ) -> list[PPAResult | FailedRun]:
     """Core area vs utilization (Fig. 8a/8c) and the Fig. 11 point sets."""
-    return [
-        try_run(netlist_factory, config.with_(utilization=util))
-        for util in utilizations
-    ]
+    return _runner(runner).run_many(
+        netlist_factory,
+        [config.with_(utilization=util) for util in utilizations],
+    )
 
 
 def max_valid_utilization(netlist_factory: Callable[[], Netlist],
                           config: FlowConfig,
                           utilizations: Sequence[float] | None = None,
+                          runner: SweepRunner | None = None,
                           ) -> tuple[float, list[PPAResult | FailedRun]]:
     """Highest utilization that places cleanly and routes with <10 DRVs.
 
@@ -56,11 +58,12 @@ def max_valid_utilization(netlist_factory: Callable[[], Netlist],
     """
     if utilizations is None:
         utilizations = [round(0.46 + 0.02 * i, 2) for i in range(23)]
-    runs = []
+    runs = _runner(runner).run_many(
+        netlist_factory,
+        [config.with_(utilization=util) for util in utilizations],
+    )
     best = 0.0
-    for util in utilizations:
-        run = try_run(netlist_factory, config.with_(utilization=util))
-        runs.append(run)
+    for util, run in zip(utilizations, runs):
         if run.valid:
             best = max(best, util)
     return best, runs
@@ -69,21 +72,24 @@ def max_valid_utilization(netlist_factory: Callable[[], Netlist],
 def frequency_sweep(netlist_factory: Callable[[], Netlist],
                     config: FlowConfig,
                     targets_ghz: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0),
+                    runner: SweepRunner | None = None,
                     ) -> list[PPAResult | FailedRun]:
     """Power-frequency relationship (Fig. 9): sweep the synthesis target."""
-    return [
-        try_run(netlist_factory, config.with_(target_frequency_ghz=f))
-        for f in targets_ghz
-    ]
+    return _runner(runner).run_many(
+        netlist_factory,
+        [config.with_(target_frequency_ghz=f) for f in targets_ghz],
+    )
 
 
 def frequency_area_sweep(netlist_factory: Callable[[], Netlist],
                          config: FlowConfig,
                          utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+                         runner: SweepRunner | None = None,
                          ) -> list[PPAResult | FailedRun]:
     """Frequency-area relationship (Fig. 10): at a fixed 1.5 GHz target,
     smaller dies (higher utilization) trade frequency for area."""
-    return utilization_sweep(netlist_factory, config, utilizations)
+    return utilization_sweep(netlist_factory, config, utilizations,
+                             runner=runner)
 
 
 @dataclass(frozen=True)
@@ -105,12 +111,15 @@ def layer_count_utilization_sweep(netlist_factory: Callable[[], Netlist],
                                   config: FlowConfig,
                                   layer_counts: Sequence[int] = tuple(range(2, 13)),
                                   utilizations: Sequence[float] | None = None,
+                                  runner: SweepRunner | None = None,
                                   ) -> list[LayerSweepPoint]:
     """Fig. 12: max utilization vs symmetric front/back layer count."""
+    runner = _runner(runner)
     points = []
     for n in layer_counts:
         cfg = config.with_(front_layers=n, back_layers=n)
-        best, _runs = max_valid_utilization(netlist_factory, cfg, utilizations)
+        best, _runs = max_valid_utilization(netlist_factory, cfg,
+                                            utilizations, runner=runner)
         points.append(LayerSweepPoint(n, n, best, None))
     return points
 
@@ -118,13 +127,15 @@ def layer_count_utilization_sweep(netlist_factory: Callable[[], Netlist],
 def layer_count_efficiency_sweep(netlist_factory: Callable[[], Netlist],
                                  config: FlowConfig,
                                  layer_counts: Sequence[int] = tuple(range(3, 13)),
+                                 runner: SweepRunner | None = None,
                                  ) -> list[LayerSweepPoint]:
     """Fig. 13: power efficiency vs symmetric layer count at fixed
     utilization and 1.5 GHz target."""
+    configs = [config.with_(front_layers=n, back_layers=n)
+               for n in layer_counts]
+    runs = _runner(runner).run_many(netlist_factory, configs)
     points = []
-    for n in layer_counts:
-        cfg = config.with_(front_layers=n, back_layers=n)
-        run = try_run(netlist_factory, cfg)
+    for n, run in zip(layer_counts, runs):
         util = run.achieved_utilization if isinstance(run, PPAResult) else 0.0
         points.append(LayerSweepPoint(n, n, util, run))
     return points

@@ -1,0 +1,49 @@
+"""Shared golden-regression case table.
+
+Used by ``scripts/make_golden.py`` (fixture capture) and
+``tests/test_golden_regression.py`` (assertions), so the two can never
+drift apart.  Factories are module-level classes so the same cases run
+through the process pool unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import FlowConfig
+from repro.synth import RiscvConfig, generate_multiplier, generate_riscv_core
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "headline_ppa.json"
+
+
+class MultiplierFactory:
+    """Picklable netlist factory for the n-bit array multiplier."""
+
+    def __init__(self, bits: int) -> None:
+        self.bits = bits
+
+    def __call__(self):
+        return generate_multiplier(self.bits)
+
+
+class RiscvTinyFactory:
+    """Picklable factory for the scaled-down RISC-V core."""
+
+    def __call__(self):
+        return generate_riscv_core(RiscvConfig(xlen=8, nregs=8,
+                                               name="rv_tiny"))
+
+
+#: The headline PPA comparison (FFET dual-sided vs FFET FM12 vs CFET)
+#: at the default config, plus one RISC-V point — the numbers the
+#: parallel and cached paths must reproduce bit-for-bit.
+CASES: dict[str, tuple[object, FlowConfig]] = {
+    "ffet_dual_mult5": (MultiplierFactory(5), FlowConfig()),
+    "ffet_fm12_mult5": (MultiplierFactory(5),
+                        FlowConfig(arch="ffet", back_layers=0,
+                                   backside_pin_fraction=0.0)),
+    "cfet_mult5": (MultiplierFactory(5),
+                   FlowConfig(arch="cfet", back_layers=0,
+                              backside_pin_fraction=0.0)),
+    "ffet_dual_rv8": (RiscvTinyFactory(), FlowConfig()),
+}

@@ -1,0 +1,75 @@
+"""Golden regression: the serial headline numbers are pinned.
+
+tests/golden/headline_ppa.json holds the full result payloads captured
+by ``scripts/make_golden.py`` from the plain serial path.  These tests
+lock today's numbers down and require the parallel and cached execution
+paths to reproduce them *bit-for-bit* — which is what makes the
+SweepRunner/FlowCache subsystem safe to put under every sweep.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import FlowCache, SweepRunner
+from repro.core.cache import result_from_payload, result_to_payload
+from repro.core.sweeps import try_run
+
+from .golden_cases import CASES, GOLDEN_PATH, MultiplierFactory
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.is_file(), \
+        "golden fixtures missing; run scripts/make_golden.py"
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_golden_covers_every_case(golden):
+    assert set(golden) == set(CASES)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_serial_path_matches_golden(golden, name):
+    factory, config = CASES[name]
+    result = try_run(factory, config)
+    assert result_to_payload(result) == golden[name]
+
+
+def test_parallel_path_matches_golden(golden):
+    """jobs=2 over the pool reproduces the pinned numbers exactly."""
+    names = [n for n in sorted(CASES)
+             if isinstance(CASES[n][0], MultiplierFactory)]
+    assert len(names) >= 2, "need >= 2 same-factory cases to engage the pool"
+    factory = CASES[names[0]][0]
+    configs = [CASES[n][1] for n in names]
+    runner = SweepRunner(jobs=2)
+    results = runner.run_many(factory, configs)
+    for name, result in zip(names, results):
+        assert result_to_payload(result) == golden[name]
+
+
+def test_cached_path_matches_golden(golden, tmp_path):
+    """Both the cache-miss and cache-hit paths reproduce the numbers."""
+    name = "ffet_dual_mult5"
+    factory, config = CASES[name]
+    runner = SweepRunner(jobs=1, cache=FlowCache(tmp_path))
+
+    cold = runner.run_records(factory, [config])[0]
+    assert not cold.cache_hit
+    assert result_to_payload(cold.result) == golden[name]
+
+    warm = runner.run_records(factory, [config])[0]
+    assert warm.cache_hit
+    assert result_to_payload(warm.result) == golden[name]
+    assert warm.result == cold.result
+
+
+def test_golden_payloads_round_trip(golden):
+    """Fixtures deserialize into results equal to their re-serialization."""
+    for name, payload in golden.items():
+        result = result_from_payload(payload)
+        assert result_to_payload(result) == payload
+        assert result.valid
