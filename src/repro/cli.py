@@ -9,13 +9,16 @@ Usage (after ``pip install -e .``)::
     python -m repro doe pin-density --fractions 0.04 0.3 0.5
     python -m repro compare
     python -m repro cache info
+    python -m repro run --trace traces/ && python -m repro trace report traces/
 
 Every experiment subcommand accepts ``--xlen/--nregs`` to size the
 RISC-V benchmark core and ``--json``/``--csv`` to save results.
 Independent flow runs fan out over ``--jobs`` worker processes
 (``$REPRO_JOBS`` sets the default) and completed points are served from
 the content-addressed result cache unless ``--no-cache`` is given; see
-docs/performance.md.
+docs/performance.md.  ``--trace DIR`` records per-stage telemetry for
+every run and ``repro trace report DIR`` prints the stage breakdown;
+see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -66,13 +69,25 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="write one per-stage telemetry trace (JSONL) "
+                             "per run into DIR; inspect with "
+                             "'repro trace report DIR'")
 
 
 def _runner_from(args) -> SweepRunner:
     cache = None
     if not getattr(args, "no_cache", False):
         cache = FlowCache(getattr(args, "cache_dir", None))
-    return SweepRunner(jobs=getattr(args, "jobs", None), cache=cache)
+    return SweepRunner(jobs=getattr(args, "jobs", None), cache=cache,
+                       trace_dir=getattr(args, "trace", None))
+
+
+def _report_traces(args, runner: SweepRunner) -> None:
+    if getattr(args, "trace", None):
+        if runner.stats.stage_time_s:
+            print(runner.stats.stage_summary())
+        print(f"traces written to {runner.trace_dir}")
 
 
 def _config_from(args) -> FlowConfig:
@@ -137,6 +152,7 @@ def cmd_run(args) -> int:
         print(run.summary())
     else:
         print(f"FAILED: {run.reason}")
+    _report_traces(args, runner)
     _emit(args, [run])
     return 0 if run.valid else 1
 
@@ -155,6 +171,7 @@ def cmd_sweep(args) -> int:
         print(run.summary() if isinstance(run, PPAResult)
               else f"FAILED ({run.target_utilization}): {run.reason}")
     print(runner.stats.summary())
+    _report_traces(args, runner)
     _emit(args, runs)
     return 0
 
@@ -185,6 +202,7 @@ def cmd_doe(args) -> int:
                   f"freq {row.frequency_diff:+.1%} "
                   f"power {row.power_diff:+.1%}")
     print(runner.stats.summary())
+    _report_traces(args, runner)
     return 0
 
 
@@ -216,6 +234,7 @@ def cmd_compare(args) -> int:
               f"frequency {ffet.achieved_frequency_ghz / cfet.achieved_frequency_ghz - 1:+.1%}, "
               f"power {ffet.total_power_mw / cfet.total_power_mw - 1:+.1%}")
     print(runner.stats.summary())
+    _report_traces(args, runner)
     _emit(args, list(runs.values()))
     return 0
 
@@ -226,8 +245,41 @@ def cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.directory}")
     else:
-        print(f"cache directory: {cache.directory}")
-        print(f"cached results: {len(cache)}")
+        info = cache.info()
+        print(f"cache directory: {info['directory']}")
+        if not info["entries"]:
+            print("cached results: empty"
+                  + ("" if info["exists"] else " (directory not created yet)"))
+        else:
+            print(f"cached results: {info['entries']} "
+                  f"({info['total_bytes'] / 1024:.1f} KiB)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .core import telemetry
+    try:
+        traces = telemetry.load_traces(args.path)
+    except OSError as exc:
+        print(f"cannot read traces from {args.path}: {exc}")
+        return 1
+    if not traces:
+        print(f"no traces found in {args.path}")
+        return 1
+    stage_times = telemetry.aggregate_stage_times(traces)
+    runs = [t for t in traces if t.label != "sweep"]
+    if len(runs) == 1 and runs[0].label:
+        title = f"stage breakdown: {runs[0].label}"
+    else:
+        title = f"stage breakdown over {len(runs)} runs"
+    print(telemetry.format_stage_table(stage_times, title=title))
+    counters: dict[str, float] = {}
+    for trace in traces:
+        telemetry.merge_counters(counters, trace.counters)
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]:g}")
     return 0
 
 
@@ -291,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache directory (default: $REPRO_CACHE_DIR "
                         "or ~/.cache/repro)")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("trace",
+                       help="report on telemetry traces from --trace runs")
+    p.add_argument("action", choices=("report",))
+    p.add_argument("path",
+                   help="a trace .jsonl file or a --trace output directory")
+    p.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -3,22 +3,29 @@
 from .artifacts import save_artifacts
 from .cache import FlowCache, cache_key, code_fingerprint, netlist_fingerprint
 from .config import FlowConfig
-from .flow import FlowArtifacts, prepare_library, run_flow
+from .flow import FLOW_STAGES, FlowArtifacts, prepare_library, run_flow
 from .io import result_to_dict, results_to_csv, results_to_json
 from .ppa import FailedRun, PPAResult
 from .runner import RunRecord, SweepRunner, SweepStats, resolve_jobs, run_once
+from .telemetry import NULL_TRACER, NullTracer, Trace, Tracer, current_tracer
 
 __all__ = [
+    "FLOW_STAGES",
     "FailedRun",
     "FlowArtifacts",
     "FlowCache",
     "FlowConfig",
+    "NULL_TRACER",
+    "NullTracer",
     "PPAResult",
     "RunRecord",
     "SweepRunner",
     "SweepStats",
+    "Trace",
+    "Tracer",
     "cache_key",
     "code_fingerprint",
+    "current_tracer",
     "netlist_fingerprint",
     "prepare_library",
     "resolve_jobs",

@@ -35,6 +35,7 @@ from pathlib import Path
 from ..netlist import Netlist
 from ..power import PowerReport
 from ..sta import TimingReport
+from . import telemetry
 from .config import FlowConfig
 from .ppa import FailedRun, PPAResult
 
@@ -158,13 +159,19 @@ class FlowCache:
 
     def get(self, key: str) -> PPAResult | FailedRun | None:
         path = self._path(key)
+        tracer = telemetry.current_tracer()
         try:
             payload = json.loads(path.read_text())
             result = result_from_payload(payload)
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            tracer.count("cache.misses")
             return None
         self.hits += 1
+        # A hit replaces an entire flow run: record it as a zero-cost
+        # span so sweep traces still account for every configuration.
+        tracer.count("cache.hits")
+        tracer.zero_span("cache_hit")
         return result
 
     def put(self, key: str, result: PPAResult | FailedRun) -> None:
@@ -202,3 +209,32 @@ class FlowCache:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("??/*.json"))
+
+    def info(self) -> dict:
+        """Summary of the on-disk store for ``repro cache info``.
+
+        Safe to call before the first ``put``: a missing directory is a
+        clean empty summary, never an error.
+        """
+        entries = 0
+        total_bytes = 0
+        oldest = newest = None
+        if self.directory.is_dir():
+            for path in self.directory.glob("??/*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # racing writer/cleaner: skip, don't crash
+                entries += 1
+                total_bytes += stat.st_size
+                mtime = stat.st_mtime
+                oldest = mtime if oldest is None else min(oldest, mtime)
+                newest = mtime if newest is None else max(newest, mtime)
+        return {
+            "directory": str(self.directory),
+            "exists": self.directory.is_dir(),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }

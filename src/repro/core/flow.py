@@ -35,8 +35,28 @@ from ..power import analyze_power
 from ..sta import analyze_timing
 from ..synth import size_for_target
 from ..tech import Side
+from . import telemetry
 from .config import FlowConfig
 from .ppa import PPAResult
+
+#: The flow's top-level stages (the paper's Fig. 7 pipeline), in
+#: execution order.  Every run emits exactly these depth-0 spans, so
+#: traces, reports and tests share one canonical stage list.
+FLOW_STAGES = (
+    "library",        # library build + input-pin redistribution
+    "netlist",        # netlist generation + library binding
+    "sizing",         # synthesis-style timing optimization
+    "floorplan",
+    "powerplan",      # BSPDN + Power Tap Cells
+    "placement",
+    "cts",
+    "legalization",   # post-CTS legalization (+ optional refinement)
+    "routing",        # grids, Algorithm 1 decomposition, per-side routing
+    "def_merge",      # per-side DEF export + dual-sided merge
+    "extraction",     # dual-sided RC extraction
+    "sta",
+    "power",
+)
 
 
 @dataclass
@@ -54,6 +74,8 @@ class FlowArtifacts:
     merged_def: DefDesign
     extraction: object
     result: PPAResult
+    #: Telemetry of this run (empty when tracing was off).
+    trace: telemetry.Trace = field(default_factory=telemetry.Trace)
 
 
 #: Characterized masters keyed by (arch, backside fraction, seed).
@@ -80,7 +102,8 @@ def prepare_library(config: FlowConfig) -> Library:
 
 def run_flow(netlist_factory: Callable[[], Netlist], config: FlowConfig,
              library: Library | None = None,
-             return_artifacts: bool = False):
+             return_artifacts: bool = False,
+             tracer: "telemetry.Tracer | None" = None):
     """Run the complete flow; returns a :class:`PPAResult`.
 
     ``netlist_factory`` must return a *fresh* netlist each call (the
@@ -88,92 +111,133 @@ def run_flow(netlist_factory: Callable[[], Netlist], config: FlowConfig,
     reuse a characterized library across runs of the same config
     family.  Raises :class:`~repro.pnr.PlacementError` when the target
     utilization cannot be placed (e.g. beyond the tap-cell limit).
-    """
-    if library is None:
-        library = prepare_library(config)
-    tech = library.tech
 
-    netlist = netlist_factory()
-    netlist.bind(library)
+    Pass a :class:`~repro.core.telemetry.Tracer` to record per-stage
+    spans (:data:`FLOW_STAGES`) and subsystem counters; telemetry never
+    changes the result.  The tracer is activated for the duration of
+    the call so instrumented subsystems report into it.
+    """
+    with telemetry.activate(tracer) as tr:
+        return _run_flow_traced(netlist_factory, config, library,
+                                return_artifacts, tr)
+
+
+def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr):
+    with tr.span("library"):
+        if library is None:
+            library = prepare_library(config)
+        tech = library.tech
+
+    with tr.span("netlist"):
+        netlist = netlist_factory()
+        netlist.bind(library)
+        tr.gauge("netlist.instances", len(netlist.instances))
+        tr.gauge("netlist.nets", len(netlist.nets))
 
     # Synthesis-style timing optimization against the target period.
-    sizing = size_for_target(
-        netlist, library, config.target_period_ps, clock=config.clock,
-        max_iterations=config.sizing_iterations, max_fanout=config.max_fanout,
-    )
+    with tr.span("sizing"):
+        sizing = size_for_target(
+            netlist, library, config.target_period_ps, clock=config.clock,
+            max_iterations=config.sizing_iterations,
+            max_fanout=config.max_fanout,
+        )
 
     # Floorplan and powerplan.
-    die = plan_floor(netlist, library,
-                     FloorplanSpec(config.utilization, config.aspect_ratio))
-    powerplan = plan_power(tech, die, config.power_stripe_pitch_cpp)
-    util = achieved_utilization(netlist, library, die)
-    if util > powerplan.max_legal_utilization:
-        raise PlacementError(
-            f"utilization {util:.2f} exceeds the Power-Tap-Cell limit "
-            f"{powerplan.max_legal_utilization:.2f}"
-        )
+    with tr.span("floorplan"):
+        die = plan_floor(netlist, library,
+                         FloorplanSpec(config.utilization,
+                                       config.aspect_ratio))
+    with tr.span("powerplan"):
+        powerplan = plan_power(tech, die, config.power_stripe_pitch_cpp)
+        util = achieved_utilization(netlist, library, die)
+        if util > powerplan.max_legal_utilization:
+            raise PlacementError(
+                f"utilization {util:.2f} exceeds the Power-Tap-Cell limit "
+                f"{powerplan.max_legal_utilization:.2f}"
+            )
 
     # Placement and CTS.
-    placement = place(netlist, library, die, powerplan, seed=config.seed)
-    cts_report = synthesize_clock_tree(netlist, library, placement,
-                                       clock_net=config.clock)
-    placement = legalize(placement, netlist, library, powerplan)
-    if config.refine_placement:
-        refine_placement(netlist, library, placement, powerplan,
-                         iterations=config.refine_iterations,
-                         seed=config.seed)
+    with tr.span("placement"):
+        placement = place(netlist, library, die, powerplan, seed=config.seed)
+    with tr.span("cts"):
+        cts_report = synthesize_clock_tree(netlist, library, placement,
+                                           clock_net=config.clock)
+    with tr.span("legalization"):
+        placement = legalize(placement, netlist, library, powerplan)
+        if config.refine_placement:
+            with tr.span("refine"):
+                refine_placement(netlist, library, placement, powerplan,
+                                 iterations=config.refine_iterations,
+                                 seed=config.seed)
 
-    # Per-side pin density maps and routing grids.
-    sides = [Side.FRONT] + ([Side.BACK] if tech.uses_backside_signals else [])
-    grids = {}
-    for side in sides:
-        pin_xy = []
-        for inst_name, inst in netlist.instances.items():
-            master = library[inst.master]
-            p = placement.locations[inst_name]
-            for pin in master.pins.values():
-                if pin.on_side(side):
-                    pin_xy.append((p.x_nm, p.y_nm))
-        counts = pin_count_map(pin_xy, die, config.gcell_tracks,
-                               tech.rules.track_pitch_nm)
-        grids[side] = build_grid(tech, die, side, powerplan,
-                                 pin_counts=counts,
-                                 gcell_tracks=config.gcell_tracks)
+    with tr.span("routing"):
+        # Per-side pin density maps and routing grids.
+        sides = [Side.FRONT] + ([Side.BACK]
+                                if tech.uses_backside_signals else [])
+        grids = {}
+        with tr.span("grids"):
+            for side in sides:
+                pin_xy = []
+                for inst_name, inst in netlist.instances.items():
+                    master = library[inst.master]
+                    p = placement.locations[inst_name]
+                    for pin in master.pins.values():
+                        if pin.on_side(side):
+                            pin_xy.append((p.x_nm, p.y_nm))
+                counts = pin_count_map(pin_xy, die, config.gcell_tracks,
+                                       tech.rules.track_pitch_nm)
+                grids[side] = build_grid(tech, die, side, powerplan,
+                                         pin_counts=counts,
+                                         gcell_tracks=config.gcell_tracks)
 
-    # Algorithm 1: decompose and route each side independently.
-    decomposition = decompose_nets(netlist, library, placement, grids,
-                                   allow_bridging=config.allow_bridging)
-    routing_results = {}
-    for side in sides:
-        router = GlobalRouter(grids[side], rrr_iterations=config.rrr_iterations)
-        routing_results[side] = router.route_all(decomposition.specs[side])
+        # Algorithm 1: decompose and route each side independently.
+        with tr.span("decompose"):
+            decomposition = decompose_nets(
+                netlist, library, placement, grids,
+                allow_bridging=config.allow_bridging)
+        routing_results = {}
+        for side in sides:
+            with tr.span(f"route.{side.value}"):
+                router = GlobalRouter(grids[side],
+                                      rrr_iterations=config.rrr_iterations)
+                routing_results[side] = router.route_all(
+                    decomposition.specs[side])
 
-    # Two DEFs, merged for dual-sided extraction (Section III.C).
-    defs = {}
-    for side in sides:
-        assignment = assign_layers(routing_results[side])
-        defs[side] = def_from_routing(
-            netlist, placement, die, routing_results[side], assignment,
-            powerplan=powerplan,
-            design_name=f"{netlist.name}_{side.value}",
-        )
-    if Side.BACK in defs:
-        merged = merge_defs(defs[Side.FRONT], defs[Side.BACK],
-                            name=netlist.name)
-    else:
-        merged = defs[Side.FRONT]
+    with tr.span("def_merge"):
+        # Two DEFs, merged for dual-sided extraction (Section III.C).
+        defs = {}
+        for side in sides:
+            with tr.span(f"def_export.{side.value}"):
+                assignment = assign_layers(routing_results[side])
+                defs[side] = def_from_routing(
+                    netlist, placement, die, routing_results[side],
+                    assignment, powerplan=powerplan,
+                    design_name=f"{netlist.name}_{side.value}",
+                )
+        if Side.BACK in defs:
+            merged = merge_defs(defs[Side.FRONT], defs[Side.BACK],
+                                name=netlist.name)
+        else:
+            merged = defs[Side.FRONT]
 
-    derates = congestion_derates(routing_results)
-    extraction = extract_design(merged, netlist, library, placement,
-                                rc_derates=derates)
+    with tr.span("extraction"):
+        derates = congestion_derates(routing_results)
+        extraction = extract_design(merged, netlist, library, placement,
+                                    rc_derates=derates)
 
-    timing = analyze_timing(netlist, library, extraction,
-                            config.target_period_ps, clock=config.clock)
-    achieved_ghz = timing.achieved_frequency_ghz
-    power = analyze_power(netlist, library, extraction, achieved_ghz,
-                          activity=config.activity, clock=config.clock)
+    with tr.span("sta"):
+        timing = analyze_timing(netlist, library, extraction,
+                                config.target_period_ps, clock=config.clock)
+        achieved_ghz = timing.achieved_frequency_ghz
+        tr.gauge("sta.achieved_frequency_ghz", achieved_ghz)
+        tr.gauge("sta.wns_ps", timing.wns_ps)
+    with tr.span("power"):
+        power = analyze_power(netlist, library, extraction, achieved_ghz,
+                              activity=config.activity, clock=config.clock)
+        tr.gauge("power.total_mw", power.total_mw)
 
     drv = sum(r.drv_count for r in routing_results.values())
+    tr.gauge("route.drv_total", drv)
     front_wl = routing_results[Side.FRONT].total_wirelength_nm / 1000.0
     back_wl = (routing_results[Side.BACK].total_wirelength_nm / 1000.0
                if Side.BACK in routing_results else 0.0)
@@ -209,5 +273,6 @@ def run_flow(netlist_factory: Callable[[], Netlist], config: FlowConfig,
             placement=placement, cts_report=cts_report,
             routing_results=routing_results, defs=defs, merged_def=merged,
             extraction=extraction, result=result,
+            trace=tr.finish() if tr.enabled else telemetry.Trace(),
         )
     return result

@@ -29,11 +29,13 @@ import os
 import pickle
 import time
 from concurrent import futures
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 from ..netlist import Netlist
 from ..pnr import PlacementError
+from . import telemetry
 from .cache import FlowCache, netlist_fingerprint
 from .config import FlowConfig
 from .flow import run_flow
@@ -60,10 +62,12 @@ def resolve_jobs(jobs: int | None = None) -> int:
 
 
 def run_once(netlist_factory: Callable[[], Netlist],
-             config: FlowConfig) -> PPAResult | FailedRun:
+             config: FlowConfig,
+             tracer: "telemetry.Tracer | None" = None
+             ) -> PPAResult | FailedRun:
     """Run one flow; a placement failure becomes a :class:`FailedRun`."""
     try:
-        return run_flow(netlist_factory, config)
+        return run_flow(netlist_factory, config, tracer=tracer)
     except PlacementError as exc:
         return FailedRun(
             label=config.label,
@@ -73,11 +77,16 @@ def run_once(netlist_factory: Callable[[], Netlist],
 
 
 def _timed_run(netlist_factory: Callable[[], Netlist],
-               config: FlowConfig) -> tuple[PPAResult | FailedRun, float]:
+               config: FlowConfig, trace: bool = False
+               ) -> tuple[PPAResult | FailedRun, float, telemetry.Trace | None]:
     # Module-level so the process pool can pickle it as a task target.
+    # With ``trace`` the worker builds a Tracer and ships the finished
+    # (picklable) Trace back to the parent alongside the result.
+    tracer = telemetry.Tracer(label=config.label) if trace else None
     start = time.perf_counter()
-    result = run_once(netlist_factory, config)
-    return result, time.perf_counter() - start
+    result = run_once(netlist_factory, config, tracer=tracer)
+    wall = time.perf_counter() - start
+    return result, wall, tracer.finish() if tracer is not None else None
 
 
 @dataclass(frozen=True)
@@ -88,6 +97,8 @@ class RunRecord:
     result: PPAResult | FailedRun
     wall_time_s: float
     cache_hit: bool = False
+    #: Per-run telemetry (None unless the runner traces).
+    trace: telemetry.Trace | None = field(default=None, compare=False)
 
 
 @dataclass
@@ -104,6 +115,11 @@ class SweepStats:
     run_time_s: float = 0.0
     #: End-to-end time spent inside ``run_records`` calls.
     elapsed_s: float = 0.0
+    #: Sweep-level stage breakdown, merged from per-run traces (empty
+    #: unless the runner traces).
+    stage_time_s: dict[str, float] = field(default_factory=dict)
+    #: Sweep-level counters, merged from per-run traces.
+    counters: dict[str, float] = field(default_factory=dict)
 
     def record(self, rec: RunRecord) -> None:
         self.runs += 1
@@ -114,6 +130,20 @@ class SweepStats:
             self.run_time_s += rec.wall_time_s
         if isinstance(rec.result, FailedRun):
             self.failed += 1
+        if rec.trace is not None:
+            self.absorb_trace(rec.trace)
+
+    def absorb_trace(self, trace: telemetry.Trace) -> None:
+        """Merge one trace into the sweep-level stage/counter totals."""
+        for name, seconds in trace.stage_times().items():
+            self.stage_time_s[name] = \
+                self.stage_time_s.get(name, 0.0) + seconds
+        telemetry.merge_counters(self.counters, trace.counters)
+
+    def stage_summary(self) -> str:
+        """The per-stage time/percentage table over every traced run."""
+        return telemetry.format_stage_table(self.stage_time_s,
+                                            title="sweep stage breakdown")
 
     def summary(self) -> str:
         parts = [
@@ -139,10 +169,18 @@ class SweepRunner:
     """
 
     def __init__(self, jobs: int | None = None,
-                 cache: FlowCache | None = None) -> None:
+                 cache: FlowCache | None = None,
+                 trace_dir: str | os.PathLike | None = None) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.stats = SweepStats()
+        #: When set, every executed run is traced (worker processes
+        #: ship their traces back) and one ``run-NNNN.jsonl`` file per
+        #: run lands here, plus ``sweep-NNNN.jsonl`` files holding the
+        #: parent-side cache-hit spans; ``repro trace report <dir>``
+        #: aggregates them.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self._trace_seq = 0
 
     # -- public API ---------------------------------------------------------
     def run_one(self, netlist_factory: Callable[[], Netlist],
@@ -160,6 +198,9 @@ class SweepRunner:
         """Run every config; records come back in ``configs`` order."""
         configs = list(configs)
         started = time.perf_counter()
+        tracing = self.trace_dir is not None
+        sweep_tracer = telemetry.Tracer(label="sweep") if tracing \
+            else telemetry.NULL_TRACER
         records: list[RunRecord | None] = [None] * len(configs)
         keys: list[str | None] = [None] * len(configs)
         pending = list(range(len(configs)))
@@ -169,32 +210,37 @@ class SweepRunner:
             fingerprint = netlist_fingerprint(netlist_factory())
             misses = []
             first_miss: dict[str, int] = {}
-            for i in pending:
-                keys[i] = self.cache.key_for(configs[i], fingerprint)
-                hit = self.cache.get(keys[i])
-                if hit is not None:
-                    records[i] = RunRecord(configs[i], hit, 0.0,
-                                           cache_hit=True)
-                elif keys[i] in first_miss:
-                    # Identical point twice in one batch: run it once.
-                    duplicates.append((i, first_miss[keys[i]]))
-                else:
-                    first_miss[keys[i]] = i
-                    misses.append(i)
+            with telemetry.activate(sweep_tracer):
+                # Cache hits are recorded by FlowCache.get as zero-cost
+                # ``cache_hit`` spans on the active (sweep) tracer.
+                for i in pending:
+                    keys[i] = self.cache.key_for(configs[i], fingerprint)
+                    hit = self.cache.get(keys[i])
+                    if hit is not None:
+                        records[i] = RunRecord(configs[i], hit, 0.0,
+                                               cache_hit=True)
+                    elif keys[i] in first_miss:
+                        # Identical point twice in one batch: run it once.
+                        duplicates.append((i, first_miss[keys[i]]))
+                    else:
+                        first_miss[keys[i]] = i
+                        misses.append(i)
             pending = misses
 
         if pending:
             outcomes = None
             if self.jobs > 1 and len(pending) > 1:
                 outcomes = self._run_pool(
-                    netlist_factory, [configs[i] for i in pending])
+                    netlist_factory, [configs[i] for i in pending],
+                    trace=tracing)
             if outcomes is None:
-                outcomes = [_timed_run(netlist_factory, configs[i])
+                outcomes = [_timed_run(netlist_factory, configs[i],
+                                       trace=tracing)
                             for i in pending]
             else:
                 self.stats.parallel_runs += len(pending)
-            for i, (result, wall) in zip(pending, outcomes):
-                records[i] = RunRecord(configs[i], result, wall)
+            for i, (result, wall, trace) in zip(pending, outcomes):
+                records[i] = RunRecord(configs[i], result, wall, trace=trace)
                 if self.cache is not None and keys[i] is not None:
                     self.cache.put(keys[i], result)
         for i, source in duplicates:
@@ -203,11 +249,28 @@ class SweepRunner:
 
         for rec in records:
             self.stats.record(rec)
+        if tracing:
+            self._write_traces(records, sweep_tracer)
         self.stats.elapsed_s += time.perf_counter() - started
         return records
 
     # -- internals ----------------------------------------------------------
-    def _run_pool(self, netlist_factory, configs):
+    def _write_traces(self, records: list[RunRecord],
+                      sweep_tracer: "telemetry.Tracer") -> None:
+        """Emit one JSONL file per executed run, plus the sweep trace."""
+        for rec in records:
+            if rec.trace is not None:
+                rec.trace.write(
+                    self.trace_dir / f"run-{self._trace_seq:04d}.jsonl")
+                self._trace_seq += 1
+        sweep_trace = sweep_tracer.finish()
+        if sweep_trace.spans or sweep_trace.counters:
+            self.stats.absorb_trace(sweep_trace)
+            sweep_trace.write(
+                self.trace_dir / f"sweep-{self._trace_seq:04d}.jsonl")
+            self._trace_seq += 1
+
+    def _run_pool(self, netlist_factory, configs, trace=False):
         """Pool execution in submission order; None -> use serial path."""
         try:
             pickle.dumps((netlist_factory, configs))
@@ -217,7 +280,8 @@ class SweepRunner:
         workers = min(self.jobs, len(configs))
         try:
             with futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                tasks = [pool.submit(_timed_run, netlist_factory, config)
+                tasks = [pool.submit(_timed_run, netlist_factory, config,
+                                     trace)
                          for config in configs]
                 return [task.result() for task in tasks]
         except (futures.process.BrokenProcessPool, OSError, ImportError):

@@ -169,6 +169,12 @@ def extract_design(merged: DefDesign, netlist: Netlist, library: Library,
             net_name, segments, stackup, driver_xy, sinks,
             rc_scale=rc_derates.get(net_name, 1.0),
         )
+    from ..core.telemetry import current_tracer
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.gauge("extract.nets", len(extraction.nets))
+        tracer.gauge("extract.derated_nets", len(rc_derates))
+        tracer.gauge("extract.total_wire_cap_ff", extraction.total_wire_cap_ff)
     return extraction
 
 

@@ -12,9 +12,20 @@ from __future__ import annotations
 from .def_ import DefDesign
 
 
+def _routes_backside(design: DefDesign) -> bool:
+    return any(layer.startswith("B") for layer in design.layers_used())
+
+
 def merge_defs(front: DefDesign, back: DefDesign,
                name: str | None = None) -> DefDesign:
-    """Merge the two per-side DEFs into one dual-sided design view."""
+    """Merge the two per-side DEFs into one dual-sided design view.
+
+    The arguments are oriented by the layers they actually route
+    (``FM*`` vs ``BM*``), so the merge is symmetric: swapping the two
+    DEFs yields the identical merged design.
+    """
+    if _routes_backside(front) and not _routes_backside(back):
+        front, back = back, front
     front_masters = {c.name: c.master for c in front.components.values()}
     back_masters = {c.name: c.master for c in back.components.values()}
     if front_masters != back_masters:
@@ -43,4 +54,9 @@ def merge_defs(front: DefDesign, back: DefDesign,
             merged.nets.setdefault(net_name, []).extend(segments)
         for net_name, segments in source.special_nets.items():
             merged.special_nets.setdefault(net_name, []).extend(segments)
+
+    from ..core.telemetry import current_tracer
+    tracer = current_tracer()
+    tracer.gauge("merge.components", len(merged.components))
+    tracer.gauge("merge.nets", len(merged.nets))
     return merged

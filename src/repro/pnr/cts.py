@@ -103,9 +103,15 @@ def synthesize_clock_tree(netlist: Netlist, library: Library,
 
     # Rebind so drivers/sinks reflect the rewired tree.
     netlist.bind(library)
-    return ClockTreeReport(
+    report = ClockTreeReport(
         sinks=len(sinks),
         buffers=counter["buf"],
         levels=counter["levels"],
         root_buffer=root_buf,
     )
+    from ..core.telemetry import current_tracer
+    tracer = current_tracer()
+    tracer.gauge("cts.sinks", report.sinks)
+    tracer.gauge("cts.buffers", report.buffers)
+    tracer.gauge("cts.levels", report.levels)
+    return report

@@ -305,7 +305,7 @@ class GlobalRouter:
 
         over_h = np.maximum(self.usage_h - self.grid.cap_h, 0)
         over_v = np.maximum(self.usage_v - self.grid.cap_v, 0)
-        return RoutingResult(
+        result = RoutingResult(
             side=self.grid.side,
             grid=self.grid,
             routes=routes,
@@ -315,6 +315,17 @@ class GlobalRouter:
             usage_h=self.usage_h,
             usage_v=self.usage_v,
         )
+        from ...core.telemetry import current_tracer
+        tracer = current_tracer()
+        if tracer.enabled:
+            side = self.grid.side.value
+            tracer.gauge(f"route.{side}.nets", len(routes))
+            tracer.gauge(f"route.{side}.wirelength_um",
+                         result.total_wirelength_nm / 1000.0)
+            tracer.gauge(f"route.{side}.drv", result.drv_count)
+            tracer.gauge(f"route.{side}.overflow_edges", result.overflow_edges)
+            tracer.gauge(f"route.{side}.rrr_iterations", iterations)
+        return result
 
     def _overflowed_edges(self) -> set[Edge]:
         edges: set[Edge] = set()

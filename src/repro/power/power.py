@@ -107,12 +107,19 @@ def analyze_power(netlist: Netlist, library: Library, extraction: Extraction,
             # Clock pin switches every cycle regardless of data.
             internal_w += 0.15 * energy_fj * 1e-15 * CLOCK_ACTIVITY * freq_hz
 
-    return PowerReport(
+    report = PowerReport(
         frequency_ghz=frequency_ghz,
         switching_mw=switching_w * 1e3,
         internal_mw=internal_w * 1e3,
         leakage_mw=leakage_w * 1e3,
     )
+    from ..core.telemetry import current_tracer
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.gauge("power.switching_mw", report.switching_mw)
+        tracer.gauge("power.internal_mw", report.internal_mw)
+        tracer.gauge("power.leakage_mw", report.leakage_mw)
+    return report
 
 
 def _clock_cone(netlist: Netlist, library: Library, clock: str) -> set[str]:

@@ -229,6 +229,10 @@ def analyze_timing(netlist: Netlist, library: Library, extraction: Extraction,
 
     path = _trace_path(netlist, net_from, worst_net)
     skews = list(clock_arrivals.values())
+    from ..core.telemetry import current_tracer
+    tracer = current_tracer()
+    tracer.gauge("sta.endpoints", endpoints)
+    tracer.gauge("sta.nets_timed", len(net_timing))
     return TimingReport(
         period_ps=period_ps,
         wns_ps=wns,

@@ -143,6 +143,35 @@ class TestPayloadCodec:
         assert cache.get(key) is None
         assert cache.misses == 1
 
+    def test_info_on_missing_directory_is_clean_and_empty(self, tmp_path):
+        """`repro cache info` must report empty, not crash, pre-creation."""
+        cache = FlowCache(tmp_path / "never" / "created")
+        info = cache.info()
+        assert info["exists"] is False
+        assert info["entries"] == 0
+        assert info["total_bytes"] == 0
+        assert info["oldest_mtime"] is None
+        assert len(cache) == 0
+
+    def test_info_counts_entries_and_bytes(self, tmp_path):
+        cache = FlowCache(tmp_path)
+        failed = FailedRun(label="x", target_utilization=0.9, reason="tap")
+        cache.put("ab" + "0" * 62, failed)
+        cache.put("cd" + "1" * 62, failed)
+        info = cache.info()
+        assert info["exists"] is True
+        assert info["entries"] == 2
+        assert info["total_bytes"] > 0
+        assert info["newest_mtime"] >= info["oldest_mtime"]
+
+    def test_cli_cache_info_on_missing_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "info",
+                     "--cache-dir", str(tmp_path / "nope")]) == 0
+        out = capsys.readouterr().out
+        assert "empty" in out
+
     def test_invalidate_and_clear(self, tmp_path):
         cache = FlowCache(tmp_path)
         failed = FailedRun(label="x", target_utilization=0.9, reason="tap")

@@ -13,8 +13,9 @@ import json
 
 import pytest
 
-from repro.core import FlowCache, SweepRunner
+from repro.core import FlowCache, SweepRunner, Tracer
 from repro.core.cache import result_from_payload, result_to_payload
+from repro.core.flow import FLOW_STAGES, run_flow
 from repro.core.sweeps import try_run
 
 from .golden_cases import CASES, GOLDEN_PATH, MultiplierFactory
@@ -65,6 +66,29 @@ def test_cached_path_matches_golden(golden, tmp_path):
     assert warm.cache_hit
     assert result_to_payload(warm.result) == golden[name]
     assert warm.result == cold.result
+
+
+def test_traced_run_matches_golden(golden):
+    """Telemetry is PPA-neutral: tracing a run reproduces the numbers."""
+    name = "ffet_dual_mult5"
+    factory, config = CASES[name]
+    tracer = Tracer(label=name)
+    result = run_flow(factory, config, tracer=tracer)
+    assert result_to_payload(result) == golden[name]
+    assert tracer.finish().stage_list() == list(FLOW_STAGES)
+
+
+def test_traced_parallel_sweep_matches_golden(golden, tmp_path):
+    """jobs=2 with --trace still reproduces the pinned numbers exactly."""
+    names = [n for n in sorted(CASES)
+             if isinstance(CASES[n][0], MultiplierFactory)]
+    factory = CASES[names[0]][0]
+    configs = [CASES[n][1] for n in names]
+    runner = SweepRunner(jobs=2, trace_dir=tmp_path)
+    results = runner.run_many(factory, configs)
+    for name, result in zip(names, results):
+        assert result_to_payload(result) == golden[name]
+    assert len(list(tmp_path.glob("run-*.jsonl"))) == len(names)
 
 
 def test_golden_payloads_round_trip(golden):

@@ -126,3 +126,69 @@ class TestMerge:
         back.special_nets["VDD"] = [RouteSegment("BM2", 10, 0, 10, 100)]
         merged = merge_defs(front, back)
         assert set(merged.special_nets) == {"VSS", "VDD"}
+
+
+def sample_back_def(front: DefDesign) -> DefDesign:
+    back = DefDesign("blk_back", front.die_width_nm, front.die_height_nm,
+                     components=dict(front.components))
+    back.nets["n1"] = [RouteSegment("BM2", 100.0, 52.0, 500.0, 52.0)]
+    back.nets["n2"] = [RouteSegment("BM1", 0.0, 0.0, 0.0, 100.0)]
+    return back
+
+
+class TestMergeInvariants:
+    """Merging preserves components/nets exactly once, in either order."""
+
+    def test_components_preserved_exactly_once(self):
+        front = sample_def()
+        back = sample_back_def(front)
+        merged = merge_defs(front, back, name="blk")
+        assert merged.components == front.components
+        assert len(merged.components) == len(front.components)
+
+    def test_every_segment_exactly_once(self):
+        front = sample_def()
+        back = sample_back_def(front)
+        merged = merge_defs(front, back, name="blk")
+        for net in set(front.nets) | set(back.nets):
+            expected = front.nets.get(net, []) + back.nets.get(net, [])
+            assert merged.nets[net] == expected
+        total = sum(len(s) for s in merged.nets.values())
+        assert total == sum(len(s) for s in front.nets.values()) \
+            + sum(len(s) for s in back.nets.values())
+
+    def test_merge_is_argument_order_insensitive(self):
+        front = sample_def()
+        back = sample_back_def(front)
+        assert merge_defs(front, back, name="blk") \
+            == merge_defs(back, front, name="blk")
+
+    def test_order_insensitive_default_name(self):
+        front = sample_def()
+        front.name = "blk_front"
+        back = sample_back_def(front)
+        assert merge_defs(back, front).name == "blk"
+        assert merge_defs(front, back).name == "blk"
+
+    def test_inputs_not_mutated(self):
+        front = sample_def()
+        back = sample_back_def(front)
+        front_nets = {n: list(s) for n, s in front.nets.items()}
+        back_nets = {n: list(s) for n, s in back.nets.items()}
+        merge_defs(front, back)
+        assert front.nets == front_nets
+        assert back.nets == back_nets
+
+    def test_merged_view_from_flow_artifacts(self):
+        """End-to-end: the flow's own two DEFs obey the same invariants."""
+        from repro.core import FlowConfig, run_flow
+        from repro.synth import generate_multiplier
+
+        artifacts = run_flow(lambda: generate_multiplier(4),
+                             FlowConfig(utilization=0.6),
+                             return_artifacts=True)
+        front = artifacts.defs[Side.FRONT]
+        back = artifacts.defs[Side.BACK]
+        remerged = merge_defs(back, front, name=artifacts.merged_def.name)
+        assert remerged == artifacts.merged_def
+        assert set(remerged.components) == set(front.components)

@@ -7,13 +7,16 @@ import os
 import pytest
 
 from repro.core import (
+    FLOW_STAGES,
     FailedRun,
     FlowCache,
     FlowConfig,
     PPAResult,
     SweepRunner,
     resolve_jobs,
+    results_to_json,
 )
+from repro.core import telemetry
 from repro.core.runner import JOBS_ENV
 from repro.core.sweeps import try_run, utilization_sweep
 from repro.synth import generate_multiplier
@@ -135,6 +138,66 @@ class TestCachedPath:
         runner.run_many(FACTORY, [BASE.with_(utilization=0.5)] * 2)
         text = runner.stats.summary()
         assert "1 cached" in text and "1 executed" in text
+
+
+class TestParallelDeterminism:
+    """--jobs must never change results or the traces' stage structure."""
+
+    UTILS = (0.5, 0.56, 0.6, 0.66)
+
+    def test_jobs1_and_jobs4_are_byte_identical(self, tmp_path):
+        configs = [BASE.with_(utilization=u) for u in self.UTILS]
+        serial = SweepRunner(jobs=1, trace_dir=tmp_path / "serial")
+        parallel = SweepRunner(jobs=4, trace_dir=tmp_path / "parallel")
+        runs1 = serial.run_many(FACTORY, configs)
+        runs4 = parallel.run_many(FACTORY, configs)
+        assert runs1 == runs4
+        # Byte-identical result sets, not merely equal objects.
+        assert results_to_json(runs1) == results_to_json(runs4)
+
+    def test_trace_stage_lists_consistent_across_jobs(self, tmp_path):
+        configs = [BASE.with_(utilization=u) for u in self.UTILS[:2]]
+        stage_lists = {}
+        for jobs in (1, 4):
+            runner = SweepRunner(jobs=jobs, trace_dir=tmp_path / str(jobs))
+            records = runner.run_records(FACTORY, configs)
+            stage_lists[jobs] = [tuple(r.trace.stage_list()) for r in records]
+            for rec in records:
+                assert rec.trace is not None
+                assert tuple(rec.trace.stage_list()) == FLOW_STAGES
+        assert stage_lists[1] == stage_lists[4]
+
+    def test_trace_files_written_and_loadable(self, tmp_path):
+        runner = SweepRunner(jobs=2, trace_dir=tmp_path / "t")
+        runner.run_many(FACTORY,
+                        [BASE.with_(utilization=u) for u in (0.5, 0.6)])
+        traces = telemetry.load_traces(tmp_path / "t")
+        runs = [t for t in traces if t.label != "sweep"]
+        assert len(runs) == 2
+        for trace in runs:
+            assert tuple(trace.stage_list()) == FLOW_STAGES
+        assert runner.stats.stage_time_s
+        assert set(runner.stats.stage_time_s) >= set(FLOW_STAGES)
+        assert "sweep stage breakdown" in runner.stats.stage_summary()
+
+    def test_cache_hit_recorded_as_zero_cost_span(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache=FlowCache(tmp_path / "cache"),
+                             trace_dir=tmp_path / "t")
+        config = BASE.with_(utilization=0.5)
+        runner.run_one(FACTORY, config)
+        runner.run_one(FACTORY, config)
+        traces = telemetry.load_traces(tmp_path / "t")
+        hits = [s for t in traces for s in t.spans if s.name == "cache_hit"]
+        assert len(hits) == 1
+        assert hits[0].duration_s == 0.0
+        assert runner.stats.counters.get("cache.hits") == 1
+        assert runner.stats.stage_time_s.get("cache_hit") == 0.0
+
+    def test_no_tracing_by_default(self):
+        runner = SweepRunner(jobs=1)
+        rec = runner.run_records(FACTORY, [BASE.with_(utilization=0.5)])[0]
+        assert rec.trace is None
+        assert runner.stats.stage_time_s == {}
 
 
 class TestSweepIntegration:
