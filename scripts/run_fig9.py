@@ -15,7 +15,9 @@ from repro.synth import generate_riscv_core
 
 def make_runner() -> SweepRunner:
     cache = None if os.environ.get("REPRO_NO_CACHE") else FlowCache()
-    return SweepRunner(cache=cache)
+    # Crash-safe: a killed batch resumes from the checkpoint file.
+    checkpoint = os.environ.get("REPRO_CHECKPOINT", "fig9.ckpt")
+    return SweepRunner(cache=cache, checkpoint=checkpoint or None)
 
 
 def report(tag: str, record) -> dict:

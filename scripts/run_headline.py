@@ -2,7 +2,10 @@
 
 All runs fan out over ``$REPRO_JOBS`` workers through the SweepRunner
 and hit the content-addressed result cache on re-runs; set
-``REPRO_NO_CACHE=1`` to force recomputation.
+``REPRO_NO_CACHE=1`` to force recomputation.  The sweep checkpoints to
+``headline.ckpt`` (``$REPRO_CHECKPOINT`` overrides), so a killed run
+resumes where it stopped instead of starting over; failed points are
+quarantined and reported rather than aborting the batch.
 """
 import json
 import os
@@ -46,7 +49,8 @@ for fp, (f, b) in ((0.5, (6, 6)), (0.5, (7, 5)), (0.3, (8, 4)), (0.3, (9, 3)), (
                             backside_pin_fraction=fp, utilization=0.76)))
 
 cache = None if os.environ.get('REPRO_NO_CACHE') else FlowCache()
-runner = SweepRunner(cache=cache)
+checkpoint = os.environ.get('REPRO_CHECKPOINT', 'headline.ckpt')
+runner = SweepRunner(cache=cache, checkpoint=checkpoint or None)
 records = runner.run_records(generate_riscv_core, [cfg for _tag, cfg in jobs])
 
 results = {}

@@ -30,7 +30,8 @@ for fp, (f, b) in ((0.5, (6, 6)), (0.5, (7, 5)), (0.3, (8, 4)), (0.3, (9, 3)), (
                             backside_pin_fraction=fp, utilization=0.76)))
 
 cache = None if os.environ.get('REPRO_NO_CACHE') else FlowCache()
-runner = SweepRunner(cache=cache)
+checkpoint = os.environ.get('REPRO_CHECKPOINT', 'headline2.ckpt')
+runner = SweepRunner(cache=cache, checkpoint=checkpoint or None)
 records = runner.run_records(generate_riscv_core, [cfg for _tag, cfg in jobs])
 
 results = {}

@@ -19,17 +19,29 @@ the content-addressed result cache unless ``--no-cache`` is given; see
 docs/performance.md.  ``--trace DIR`` records per-stage telemetry for
 every run and ``repro trace report DIR`` prints the stage breakdown;
 see docs/observability.md.
+
+Failure handling (docs/robustness.md): failed runs print one
+structured line (stage, config, cause) and quarantined failures make
+the command exit nonzero unless ``--keep-going``; ``--timeout`` /
+``--retries`` tune the retry policy, ``--checkpoint FILE`` makes an
+interrupted sweep resumable, ``--guard`` selects the flow-guard mode
+and ``--inject-faults`` injects deterministic faults for testing.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import build_library, make_cfet_node, make_ffet_node
 from .cells import format_kpi_table, library_kpi_diff, write_liberty
-from .core import FlowCache, FlowConfig, PPAResult, SweepRunner
+from .core import (FlowCache, FlowConfig, PPAResult, RetryPolicy,
+                   SweepRunner)
+from .core import faults as faults_mod
+from .core import guard as guard_mod
 from .core.doe import cooptimization_table, pin_density_doe
+from .core.errors import FlowError
 from .core.io import results_to_csv, results_to_json
 from .core.sweeps import frequency_sweep, utilization_sweep
 from .synth import RiscvConfig, generate_riscv_core
@@ -73,14 +85,66 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="write one per-stage telemetry trace (JSONL) "
                              "per run into DIR; inspect with "
                              "'repro trace report DIR'")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-run wall-clock budget; a run past it is "
+                             "retried, then quarantined (default: "
+                             "$REPRO_TIMEOUT or unlimited)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="max attempts per run for transient failures "
+                             "(default: $REPRO_RETRIES or 3)")
+    parser.add_argument("--checkpoint", metavar="FILE", default=None,
+                        help="crash-safe sweep checkpoint (JSONL); rerunning "
+                             "with the same file resumes an interrupted "
+                             "sweep")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="ignore an existing checkpoint file and "
+                             "recompute every run")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="exit 0 even when some runs were quarantined "
+                             "(the sweep always completes either way)")
+    parser.add_argument("--guard", choices=guard_mod.MODES, default=None,
+                        help="flow guard mode for post-stage invariant "
+                             "checks (default: $REPRO_GUARD or strict)")
+    parser.add_argument("--inject-faults", metavar="SPEC", default=None,
+                        help="deterministic fault injection, e.g. "
+                             "'placement:raise:first,sta:die:rate=0.3'; "
+                             "see docs/robustness.md (disables the cache)")
 
 
 def _runner_from(args) -> SweepRunner:
+    # --guard / --inject-faults travel via the environment so pool
+    # worker processes see the exact same plan as the parent.
+    if getattr(args, "guard", None):
+        os.environ[guard_mod.GUARD_ENV] = args.guard
+    if getattr(args, "inject_faults", None):
+        faults_mod.FaultPlan.from_spec(args.inject_faults)  # fail fast
+        os.environ[faults_mod.FAULTS_ENV] = args.inject_faults
+    retry = RetryPolicy.from_env()
+    if getattr(args, "timeout", None) or getattr(args, "retries", None):
+        import dataclasses
+        patch = {}
+        if getattr(args, "timeout", None):
+            patch["timeout_s"] = args.timeout
+        if getattr(args, "retries", None):
+            patch["max_attempts"] = max(1, args.retries)
+        retry = dataclasses.replace(retry, **patch)
     cache = None
     if not getattr(args, "no_cache", False):
         cache = FlowCache(getattr(args, "cache_dir", None))
     return SweepRunner(jobs=getattr(args, "jobs", None), cache=cache,
-                       trace_dir=getattr(args, "trace", None))
+                       trace_dir=getattr(args, "trace", None),
+                       retry=retry,
+                       checkpoint=getattr(args, "checkpoint", None),
+                       resume=not getattr(args, "no_resume", False))
+
+
+def _exit_code(args, runner: SweepRunner) -> int:
+    """Sweeps exit nonzero when runs were quarantined, unless
+    ``--keep-going`` says partial results are an acceptable outcome."""
+    if runner.stats.quarantined and not getattr(args, "keep_going", False):
+        return 1
+    return 0
 
 
 def _report_traces(args, runner: SweepRunner) -> None:
@@ -148,13 +212,12 @@ def cmd_characterize(args) -> int:
 def cmd_run(args) -> int:
     runner = _runner_from(args)
     run = runner.run_one(_factory_from(args), _config_from(args))
-    if isinstance(run, PPAResult):
-        print(run.summary())
-    else:
-        print(f"FAILED: {run.reason}")
+    print(run.summary())
     _report_traces(args, runner)
     _emit(args, [run])
-    return 0 if run.valid else 1
+    if run.valid:
+        return 0
+    return 0 if getattr(args, "keep_going", False) else 1
 
 
 def cmd_sweep(args) -> int:
@@ -168,12 +231,11 @@ def cmd_sweep(args) -> int:
         targets = args.targets or [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
         runs = frequency_sweep(factory, config, targets, runner=runner)
     for run in runs:
-        print(run.summary() if isinstance(run, PPAResult)
-              else f"FAILED ({run.target_utilization}): {run.reason}")
+        print(run.summary())
     print(runner.stats.summary())
     _report_traces(args, runner)
     _emit(args, runs)
-    return 0
+    return _exit_code(args, runner)
 
 
 def cmd_doe(args) -> int:
@@ -203,7 +265,7 @@ def cmd_doe(args) -> int:
                   f"power {row.power_diff:+.1%}")
     print(runner.stats.summary())
     _report_traces(args, runner)
-    return 0
+    return _exit_code(args, runner)
 
 
 def cmd_compare(args) -> int:
@@ -226,7 +288,7 @@ def cmd_compare(args) -> int:
     runs = dict(zip(configs, results))
     for name, run in runs.items():
         print(run.summary() if isinstance(run, PPAResult)
-              else f"{name}: FAILED")
+              else f"{name}: {run.summary()}")
     cfet, ffet = runs["CFET"], runs["FFET FM12"]
     if isinstance(cfet, PPAResult) and isinstance(ffet, PPAResult):
         print(f"\nFFET FM12 vs CFET: area "
@@ -236,7 +298,7 @@ def cmd_compare(args) -> int:
     print(runner.stats.summary())
     _report_traces(args, runner)
     _emit(args, list(runs.values()))
-    return 0
+    return _exit_code(args, runner)
 
 
 def cmd_cache(args) -> int:
@@ -253,6 +315,10 @@ def cmd_cache(args) -> int:
         else:
             print(f"cached results: {info['entries']} "
                   f"({info['total_bytes'] / 1024:.1f} KiB)")
+        if info["stale_tmp_files"]:
+            print(f"stale tmp files: {info['stale_tmp_files']} "
+                  "(from writers that died mid-put; "
+                  "'repro cache clear' removes them)")
     return 0
 
 
@@ -355,7 +421,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FlowError as exc:
+        # One structured line (stage, config, cause), not a traceback.
+        print(f"error: {exc.one_line()}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,38 +1,68 @@
-"""The FFET evaluation framework: flow, configs, sweeps and DoEs."""
+"""The FFET evaluation framework: flow, configs, sweeps and DoEs.
 
-from .artifacts import save_artifacts
-from .cache import FlowCache, cache_key, code_fingerprint, netlist_fingerprint
-from .config import FlowConfig
-from .flow import FLOW_STAGES, FlowArtifacts, prepare_library, run_flow
-from .io import result_to_dict, results_to_csv, results_to_json
-from .ppa import FailedRun, PPAResult
-from .runner import RunRecord, SweepRunner, SweepStats, resolve_jobs, run_once
-from .telemetry import NULL_TRACER, NullTracer, Trace, Tracer, current_tracer
+Every exported name resolves lazily via PEP 562 (module
+``__getattr__``).  The package init stays import-free so that leaf
+modules like :mod:`repro.core.errors` and :mod:`repro.core.telemetry`
+can be imported from anywhere in the package — including ``pnr``,
+``lefdef`` and ``extract``, which ``repro.core``'s own heavyweight
+modules import in turn — without creating an import cycle.
+"""
 
-__all__ = [
-    "FLOW_STAGES",
-    "FailedRun",
-    "FlowArtifacts",
-    "FlowCache",
-    "FlowConfig",
-    "NULL_TRACER",
-    "NullTracer",
-    "PPAResult",
-    "RunRecord",
-    "SweepRunner",
-    "SweepStats",
-    "Trace",
-    "Tracer",
-    "cache_key",
-    "code_fingerprint",
-    "current_tracer",
-    "netlist_fingerprint",
-    "prepare_library",
-    "resolve_jobs",
-    "result_to_dict",
-    "results_to_csv",
-    "results_to_json",
-    "run_flow",
-    "run_once",
-    "save_artifacts",
-]
+from importlib import import_module
+
+#: Exported name -> defining submodule, resolved on first access.
+_LAZY = {
+    "FlowCache": ".cache",
+    "cache_key": ".cache",
+    "code_fingerprint": ".cache",
+    "netlist_fingerprint": ".cache",
+    "FlowConfig": ".config",
+    "DecompositionError": ".errors",
+    "FatalError": ".errors",
+    "FlowError": ".errors",
+    "GuardViolation": ".errors",
+    "InjectedFault": ".errors",
+    "MergeError": ".errors",
+    "RoutingError": ".errors",
+    "RunTimeout": ".errors",
+    "TransientError": ".errors",
+    "FaultPlan": ".faults",
+    "FLOW_STAGES": ".flow",
+    "FlowArtifacts": ".flow",
+    "prepare_library": ".flow",
+    "run_flow": ".flow",
+    "FlowGuard": ".guard",
+    "result_to_dict": ".io",
+    "results_to_csv": ".io",
+    "results_to_json": ".io",
+    "FailedRun": ".ppa",
+    "PPAResult": ".ppa",
+    "RetryPolicy": ".runner",
+    "RunRecord": ".runner",
+    "SweepCheckpoint": ".runner",
+    "SweepRunner": ".runner",
+    "SweepStats": ".runner",
+    "resolve_jobs": ".runner",
+    "run_once": ".runner",
+    "NULL_TRACER": ".telemetry",
+    "NullTracer": ".telemetry",
+    "Trace": ".telemetry",
+    "Tracer": ".telemetry",
+    "current_tracer": ".telemetry",
+    "save_artifacts": ".artifacts",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

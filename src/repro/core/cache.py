@@ -47,7 +47,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NON_PPA_FIELDS = frozenset({"tag"})
 
 #: Bumped only on cache *format* changes (payload layout, key recipe).
-CACHE_FORMAT = 1
+#: 2: payload carries a content checksum; corrupt entries are detected,
+#: counted (``cache.corrupt``) and deleted instead of silently missing.
+CACHE_FORMAT = 2
 
 _code_fingerprint: str | None = None
 
@@ -120,6 +122,19 @@ def cache_key(config: FlowConfig, netlist_fp: str,
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def payload_checksum(payload: dict) -> str:
+    """Content checksum over the result portion of a cache payload.
+
+    Covers exactly the fields :func:`result_from_payload` reads, so any
+    torn write, truncation or hand-edit that could change the decoded
+    result is caught; bookkeeping fields (key, label, created) are not
+    covered and remain freely editable.
+    """
+    blob = json.dumps({"kind": payload["kind"], "data": payload["data"]},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 def result_to_payload(result: PPAResult | FailedRun) -> dict:
     """Serialize a run result into a JSON-safe, round-trippable dict."""
     if isinstance(result, FailedRun):
@@ -150,6 +165,9 @@ class FlowCache:
         self.version = version
         self.hits = 0
         self.misses = 0
+        #: Entries found damaged (checksum mismatch, unparseable) and
+        #: deleted; also counted as ``cache.corrupt`` on the trace.
+        self.corrupt = 0
 
     def key_for(self, config: FlowConfig, netlist_fp: str) -> str:
         return cache_key(config, netlist_fp, version=self.version)
@@ -161,9 +179,24 @@ class FlowCache:
         path = self._path(key)
         tracer = telemetry.current_tracer()
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:  # absent entry: an ordinary miss
+            self.misses += 1
+            tracer.count("cache.misses")
+            return None
+        try:
+            payload = json.loads(text)
+            stored = payload.get("checksum")
+            if stored is not None and stored != payload_checksum(payload):
+                raise ValueError("cache entry checksum mismatch")
             result = result_from_payload(payload)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            # The entry exists but is damaged (torn write, bit rot,
+            # hand-editing): count it loudly and delete it, so it can
+            # never be half-read and never misses twice.
+            self.corrupt += 1
+            tracer.count("cache.corrupt")
+            self.invalidate(key)
             self.misses += 1
             tracer.count("cache.misses")
             return None
@@ -178,6 +211,7 @@ class FlowCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = result_to_payload(result)
+        payload["checksum"] = payload_checksum(payload)
         payload["key"] = key
         payload["label"] = result.label
         payload["created"] = time.time()
@@ -193,11 +227,23 @@ class FlowCache:
         except OSError:
             return False
 
+    def _stale_tmp_files(self):
+        """Leftover ``*.tmp.<pid>`` files from writers that died mid-put."""
+        if not self.directory.is_dir():
+            return
+        yield from self.directory.glob("??/*.tmp.*")
+
     def clear(self) -> int:
-        """Drop every entry; returns how many were removed."""
+        """Drop every entry (and stale tmp file); returns how many."""
         removed = 0
         if self.directory.is_dir():
             for path in self.directory.glob("??/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for path in self._stale_tmp_files():
                 try:
                     path.unlink()
                     removed += 1
@@ -237,4 +283,5 @@ class FlowCache:
             "total_bytes": total_bytes,
             "oldest_mtime": oldest,
             "newest_mtime": newest,
+            "stale_tmp_files": sum(1 for _ in self._stale_tmp_files()),
         }

@@ -8,6 +8,8 @@ dual-sided RC extraction -> STA + power -> :class:`PPAResult`.
 
 from __future__ import annotations
 
+import dataclasses
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -35,8 +37,11 @@ from ..power import analyze_power
 from ..sta import analyze_timing
 from ..synth import size_for_target
 from ..tech import Side
+from . import faults as faults_mod
 from . import telemetry
 from .config import FlowConfig
+from .errors import FatalError, wrap_stage_error
+from .guard import NULL_GUARD, FlowGuard
 from .ppa import PPAResult
 
 #: The flow's top-level stages (the paper's Fig. 7 pipeline), in
@@ -100,10 +105,72 @@ def prepare_library(config: FlowConfig) -> Library:
     return Library(tech=tech, masters=dict(masters))
 
 
+#: Stages whose output the fault-injection ``corrupt`` mode can damage
+#: (each paired with the flow-guard check that must catch it).
+CORRUPTIBLE_STAGES = frozenset({"placement", "routing", "def_merge", "power"})
+
+
+def _corrupt_decomposition(decomposition) -> None:
+    """Silently drop one sink from the first non-empty side-net."""
+    for key, sinks in decomposition.side_sinks.items():
+        if sinks:
+            sinks.pop()
+            return
+
+
+def _corrupt_merged_def(merged) -> None:
+    """Silently duplicate one route segment in the merged DEF."""
+    for segments in merged.nets.values():
+        if segments:
+            segments.append(segments[0])
+            return
+
+
+@contextmanager
+def _stage(tr, name: str, config: FlowConfig, plan: "faults_mod.FaultPlan"):
+    """One top-level flow stage: a span, error context, fault point.
+
+    Any exception escaping the stage body is annotated (or wrapped)
+    with the stage name and config label so quarantine records and CLI
+    messages can say exactly where the flow failed.  Active non-corrupt
+    fault clauses fire at the end of the stage body, inside its span.
+    """
+    with tr.span(name):
+        try:
+            yield
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            wrapped = wrap_stage_error(exc, name, config.label)
+            if wrapped is exc:
+                raise
+            raise wrapped from exc
+        clause = plan.clause_for(name, config) if plan.active else None
+        if clause is not None:
+            if clause.mode != "corrupt":
+                faults_mod.fire(clause, name)
+            elif name not in CORRUPTIBLE_STAGES:
+                raise FatalError(
+                    f"fault injection cannot corrupt stage {name!r} "
+                    f"(supported: {sorted(CORRUPTIBLE_STAGES)})",
+                    name, config.label, cause="FatalError")
+
+
+def _corrupting(plan: "faults_mod.FaultPlan", stage: str,
+                config: FlowConfig) -> bool:
+    """Whether an active ``corrupt`` clause targets this stage."""
+    if not plan.active:
+        return False
+    clause = plan.clause_for(stage, config)
+    return clause is not None and clause.mode == "corrupt"
+
+
 def run_flow(netlist_factory: Callable[[], Netlist], config: FlowConfig,
              library: Library | None = None,
              return_artifacts: bool = False,
-             tracer: "telemetry.Tracer | None" = None):
+             tracer: "telemetry.Tracer | None" = None,
+             guard: FlowGuard | None = None,
+             faults: "faults_mod.FaultPlan | None" = None):
     """Run the complete flow; returns a :class:`PPAResult`.
 
     ``netlist_factory`` must return a *fresh* netlist each call (the
@@ -116,26 +183,38 @@ def run_flow(netlist_factory: Callable[[], Netlist], config: FlowConfig,
     spans (:data:`FLOW_STAGES`) and subsystem counters; telemetry never
     changes the result.  The tracer is activated for the duration of
     the call so instrumented subsystems report into it.
+
+    ``guard`` selects the post-stage invariant checker (default: a
+    :class:`~repro.core.guard.FlowGuard` in the ``$REPRO_GUARD`` mode,
+    strict unless overridden).  ``faults`` injects deterministic
+    failures for testing the recovery paths (default: the
+    ``$REPRO_FAULTS`` plan, normally inert); see
+    :mod:`repro.core.faults`.  Neither changes a healthy run's result.
     """
+    if guard is None:
+        guard = FlowGuard()
+    if faults is None:
+        faults = faults_mod.plan_from_env()
     with telemetry.activate(tracer) as tr:
         return _run_flow_traced(netlist_factory, config, library,
-                                return_artifacts, tr)
+                                return_artifacts, tr, guard, faults)
 
 
-def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr):
-    with tr.span("library"):
+def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr,
+                     guard=NULL_GUARD, plan=faults_mod.FaultPlan()):
+    with _stage(tr, "library", config, plan):
         if library is None:
             library = prepare_library(config)
         tech = library.tech
 
-    with tr.span("netlist"):
+    with _stage(tr, "netlist", config, plan):
         netlist = netlist_factory()
         netlist.bind(library)
         tr.gauge("netlist.instances", len(netlist.instances))
         tr.gauge("netlist.nets", len(netlist.nets))
 
     # Synthesis-style timing optimization against the target period.
-    with tr.span("sizing"):
+    with _stage(tr, "sizing", config, plan):
         sizing = size_for_target(
             netlist, library, config.target_period_ps, clock=config.clock,
             max_iterations=config.sizing_iterations,
@@ -143,11 +222,11 @@ def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr):
         )
 
     # Floorplan and powerplan.
-    with tr.span("floorplan"):
+    with _stage(tr, "floorplan", config, plan):
         die = plan_floor(netlist, library,
                          FloorplanSpec(config.utilization,
                                        config.aspect_ratio))
-    with tr.span("powerplan"):
+    with _stage(tr, "powerplan", config, plan):
         powerplan = plan_power(tech, die, config.power_stripe_pitch_cpp)
         util = achieved_utilization(netlist, library, die)
         if util > powerplan.max_legal_utilization:
@@ -157,20 +236,24 @@ def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr):
             )
 
     # Placement and CTS.
-    with tr.span("placement"):
+    with _stage(tr, "placement", config, plan):
         placement = place(netlist, library, die, powerplan, seed=config.seed)
-    with tr.span("cts"):
+        if _corrupting(plan, "placement", config) and placement.locations:
+            del placement.locations[next(iter(placement.locations))]
+        guard.check_placement(netlist, die, placement)
+    with _stage(tr, "cts", config, plan):
         cts_report = synthesize_clock_tree(netlist, library, placement,
                                            clock_net=config.clock)
-    with tr.span("legalization"):
+    with _stage(tr, "legalization", config, plan):
         placement = legalize(placement, netlist, library, powerplan)
         if config.refine_placement:
             with tr.span("refine"):
                 refine_placement(netlist, library, placement, powerplan,
                                  iterations=config.refine_iterations,
                                  seed=config.seed)
+        guard.check_placement(netlist, die, placement)
 
-    with tr.span("routing"):
+    with _stage(tr, "routing", config, plan):
         # Per-side pin density maps and routing grids.
         sides = [Side.FRONT] + ([Side.BACK]
                                 if tech.uses_backside_signals else [])
@@ -195,6 +278,9 @@ def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr):
             decomposition = decompose_nets(
                 netlist, library, placement, grids,
                 allow_bridging=config.allow_bridging)
+            if _corrupting(plan, "routing", config):
+                _corrupt_decomposition(decomposition)
+            guard.check_decomposition(netlist, decomposition)
         routing_results = {}
         for side in sides:
             with tr.span(f"route.{side.value}"):
@@ -203,7 +289,7 @@ def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr):
                 routing_results[side] = router.route_all(
                     decomposition.specs[side])
 
-    with tr.span("def_merge"):
+    with _stage(tr, "def_merge", config, plan):
         # Two DEFs, merged for dual-sided extraction (Section III.C).
         defs = {}
         for side in sides:
@@ -219,22 +305,28 @@ def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr):
                                 name=netlist.name)
         else:
             merged = defs[Side.FRONT]
+        if _corrupting(plan, "def_merge", config):
+            _corrupt_merged_def(merged)
+        guard.check_merged_def(netlist, merged)
 
-    with tr.span("extraction"):
+    with _stage(tr, "extraction", config, plan):
         derates = congestion_derates(routing_results)
         extraction = extract_design(merged, netlist, library, placement,
                                     rc_derates=derates)
 
-    with tr.span("sta"):
+    with _stage(tr, "sta", config, plan):
         timing = analyze_timing(netlist, library, extraction,
                                 config.target_period_ps, clock=config.clock)
         achieved_ghz = timing.achieved_frequency_ghz
         tr.gauge("sta.achieved_frequency_ghz", achieved_ghz)
         tr.gauge("sta.wns_ps", timing.wns_ps)
-    with tr.span("power"):
+    with _stage(tr, "power", config, plan):
         power = analyze_power(netlist, library, extraction, achieved_ghz,
                               activity=config.activity, clock=config.clock)
         tr.gauge("power.total_mw", power.total_mw)
+        if _corrupting(plan, "power", config):
+            power = dataclasses.replace(
+                power, switching_mw=-abs(power.switching_mw) - 1.0)
 
     drv = sum(r.drv_count for r in routing_results.values())
     tr.gauge("route.drv_total", drv)
@@ -267,6 +359,7 @@ def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr):
         cts_buffers=cts_report.buffers,
         placement_feasible=True,
     )
+    guard.check_result(result)
     if return_artifacts:
         return FlowArtifacts(
             library=library, netlist=netlist, die=die, powerplan=powerplan,

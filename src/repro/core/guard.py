@@ -1,0 +1,199 @@
+"""The flow guard: post-stage invariant checks on flow artifacts.
+
+The flow's stages hand artifacts to each other (a placement to CTS, a
+decomposition to the routers, a merged DEF to extraction).  A stage
+that silently produces a damaged artifact — a lost cell location, a
+sink dropped from every routing side, a duplicated DEF segment, an
+absurd PPA number — poisons everything downstream, and a sweep would
+happily cache and report the garbage.  The :class:`FlowGuard` runs
+cheap invariant checks at the stage boundaries:
+
+* **placement legality** — every instance has exactly one location and
+  it lies inside the die;
+* **net decomposition completeness** — Algorithm 1 assigned every sink
+  of every net to exactly one wafer side (no lost or doubled sinks);
+* **merged-DEF consistency** — the component list matches the netlist
+  exactly and no net carries duplicated route segments;
+* **PPA sanity** — frequency/power/area/wirelength are finite and in
+  physically meaningful ranges.
+
+Modes (``$REPRO_GUARD`` or CLI ``--guard``):
+
+* ``strict`` (default) — a violation raises
+  :class:`~repro.core.errors.GuardViolation`, which the sweep runner
+  quarantines as a structured failure;
+* ``warn`` — violations are recorded (``guard.violations`` telemetry
+  counter, :attr:`FlowGuard.violations`, a ``RuntimeWarning``) and the
+  run continues;
+* ``off`` — checks are skipped entirely.
+
+Checks are read-only: guarding a healthy run never changes its
+:class:`~repro.core.ppa.PPAResult`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import warnings
+from typing import TYPE_CHECKING
+
+from . import telemetry
+from .errors import GuardViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .ppa import PPAResult
+
+#: Environment variable selecting the default guard mode.
+GUARD_ENV = "REPRO_GUARD"
+
+#: Recognized guard modes.
+MODES = ("strict", "warn", "off")
+
+#: Upper sanity bound on achieved frequency, GHz (nothing in this
+#: technology clocks three orders of magnitude past the paper's 3 GHz).
+MAX_SANE_FREQUENCY_GHZ = 1000.0
+
+#: Upper sanity bound on block power, mW (paper-scale blocks draw mW).
+MAX_SANE_POWER_MW = 1e6
+
+
+def default_mode() -> str:
+    """Guard mode from ``$REPRO_GUARD``; unknown values mean strict."""
+    mode = os.environ.get(GUARD_ENV, "").strip().lower()
+    return mode if mode in MODES else "strict"
+
+
+class FlowGuard:
+    """Runs post-stage invariant checks in strict/warn/off mode."""
+
+    def __init__(self, mode: str | None = None) -> None:
+        mode = mode if mode is not None else default_mode()
+        if mode not in MODES:
+            raise ValueError(f"unknown guard mode {mode!r} "
+                             f"(expected one of {MODES})")
+        self.mode = mode
+        #: Violation messages recorded in ``warn`` mode (and, for
+        #: inspection, the message of the strict raise).
+        self.violations: list[str] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    # -- violation plumbing --------------------------------------------------
+    def _violate(self, stage: str, message: str) -> None:
+        tracer = telemetry.current_tracer()
+        tracer.count("guard.violations")
+        self.violations.append(f"{stage}: {message}")
+        if self.mode == "strict":
+            raise GuardViolation(message, stage, cause="GuardViolation")
+        warnings.warn(f"flow guard ({stage}): {message}", RuntimeWarning,
+                      stacklevel=3)
+
+    def _checked(self) -> None:
+        telemetry.current_tracer().count("guard.checks")
+
+    # -- stage checks --------------------------------------------------------
+    def check_placement(self, netlist, die, placement) -> None:
+        """Every instance placed exactly once, inside the die bounds."""
+        if not self.enabled:
+            return
+        self._checked()
+        missing = [name for name in netlist.instances
+                   if name not in placement.locations]
+        if missing:
+            self._violate(
+                "placement",
+                f"{len(missing)} instances have no location "
+                f"(first: {sorted(missing)[:3]})")
+            return
+        bounds = die.bounds()
+        astray = [name for name, p in placement.locations.items()
+                  if not bounds.contains(p)]
+        if astray:
+            self._violate(
+                "placement",
+                f"{len(astray)} locations outside the die "
+                f"(first: {sorted(astray)[:3]})")
+
+    def check_decomposition(self, netlist, decomposition) -> None:
+        """Algorithm 1 kept every sink, on exactly one side."""
+        if not self.enabled:
+            return
+        self._checked()
+        if decomposition.bridges:
+            # Bridging rewrites connectivity (new buffer instances take
+            # over sinks); the exact-coverage invariant no longer holds.
+            return
+        for net_name, net in netlist.nets.items():
+            want = sorted(net.sinks)
+            got = sorted(
+                sink
+                for (name, _side), sinks in decomposition.side_sinks.items()
+                if name == net_name
+                for sink in sinks
+            )
+            if want != got:
+                self._violate(
+                    "routing",
+                    f"net {net_name}: decomposition covers {len(got)} sinks, "
+                    f"netlist has {len(want)}")
+                return
+
+    def check_merged_def(self, netlist, merged) -> None:
+        """Every instance is a component; no net repeats a segment.
+
+        The merged DEF may legitimately carry physical-only components
+        (Power Tap Cells), so extras are fine — lost instances are not.
+        """
+        if not self.enabled:
+            return
+        self._checked()
+        missing = set(netlist.instances) - set(merged.components)
+        if missing:
+            self._violate(
+                "def_merge",
+                f"{len(missing)} netlist instances missing from the merged "
+                f"DEF (first: {sorted(missing)[:3]})")
+            return
+        for net_name, segments in merged.nets.items():
+            if len(segments) != len(set(segments)):
+                self._violate(
+                    "def_merge",
+                    f"net {net_name}: duplicated route segments in the "
+                    "merged DEF")
+                return
+
+    def check_result(self, result: "PPAResult") -> None:
+        """Final PPA numbers are finite and physically plausible."""
+        if not self.enabled:
+            return
+        self._checked()
+        checks = (
+            # (name, value, lower bound, lower is exclusive, upper bound)
+            ("achieved_frequency_ghz", result.achieved_frequency_ghz,
+             0.0, True, MAX_SANE_FREQUENCY_GHZ),
+            ("total_power_mw", result.power.total_mw,
+             0.0, True, MAX_SANE_POWER_MW),
+            ("core_area_um2", result.core_area_um2, 0.0, True, math.inf),
+            ("total_wirelength_um", result.total_wirelength_um,
+             0.0, False, math.inf),
+            ("drv_count", float(result.drv_count), 0.0, False, math.inf),
+        )
+        for name, value, lo, lo_open, hi in checks:
+            bad = (not math.isfinite(value) or value > hi
+                   or value < lo or (lo_open and value == lo))
+            if bad:
+                self._violate(
+                    "power",
+                    f"{name} = {value!r} outside sane bounds "
+                    f"({'(' if lo_open else '['}{lo:g}, {hi:g}])")
+                return
+        if not math.isfinite(result.timing.wns_ps):
+            self._violate("sta", f"wns_ps = {result.timing.wns_ps!r} "
+                                 "is not finite")
+
+
+#: A guard that never checks anything (mode ``off``).
+NULL_GUARD = FlowGuard(mode="off")

@@ -28,6 +28,10 @@ def result_to_dict(run: PPAResult | FailedRun) -> dict:
             "target_utilization": run.target_utilization,
             "valid": False,
             "failure": run.reason,
+            "stage": run.stage,
+            "cause": run.cause,
+            "attempts": run.attempts,
+            "quarantined": run.quarantined,
         }
     out = {}
     for field in RESULT_FIELDS:

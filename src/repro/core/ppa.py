@@ -61,12 +61,40 @@ class PPAResult:
 
 @dataclass(frozen=True)
 class FailedRun:
-    """A run that could not be placed (utilization beyond the tap limit)."""
+    """A run that produced no PPA result — infeasible or quarantined.
+
+    The classic case is a utilization beyond the Power-Tap-Cell limit
+    (an expected design-space boundary).  The fault-tolerance layer
+    also quarantines runs here when a stage raised, timed out, tripped
+    the flow guard, or kept killing its worker — with the failing
+    stage, the cause (exception type name), and the attempt count
+    attached so a sweep report can say exactly what happened.
+    """
 
     label: str
     target_utilization: float
     reason: str
+    #: Flow stage that failed (one of FLOW_STAGES; "" when unknown).
+    stage: str = ""
+    #: Exception type name ("PlacementError", "RunTimeout", ...).
+    cause: str = ""
+    #: Attempts consumed (> 1 when transient retries were exhausted).
+    attempts: int = 1
+    #: True for unexpected failures the runner quarantined; False for
+    #: expected infeasibility (an unplaceable utilization point).
+    quarantined: bool = False
 
     @property
     def valid(self) -> bool:
         return False
+
+    def summary(self) -> str:
+        """One-line structured rendering (stage, config, cause)."""
+        kind = "QUARANTINED" if self.quarantined else "FAILED"
+        parts = [f"{kind}: stage={self.stage or '?'}",
+                 f"config={self.label!r}",
+                 f"cause={self.cause or '?'}"]
+        if self.attempts > 1:
+            parts.append(f"attempts={self.attempts}")
+        parts.append(f"error={self.reason}")
+        return " ".join(parts)

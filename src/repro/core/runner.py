@@ -1,48 +1,93 @@
-"""Parallel sweep execution over a process pool, with result caching.
+"""Fault-tolerant parallel sweep execution with caching and checkpoints.
 
 The paper's headline figures are all sweeps — dozens of independent
 full-flow runs over utilization grids and pin-density DoEs — so the
-:class:`SweepRunner` is the one place fan-out, caching and timing are
-handled for every sweep entry point (``repro.core.sweeps``,
-``repro.core.doe``, the CLI and the ``scripts/run_*.py`` drivers):
+:class:`SweepRunner` is the one place fan-out, caching, timing and
+failure handling live for every sweep entry point
+(``repro.core.sweeps``, ``repro.core.doe``, the CLI and the
+``scripts/run_*.py`` drivers):
 
 * ``jobs`` workers on a :class:`concurrent.futures.ProcessPoolExecutor`
   (``jobs=None`` reads ``$REPRO_JOBS``, defaulting to serial; ``jobs=0``
   means one worker per core);
 * results come back in submission order regardless of completion order,
   so parallel sweeps are drop-in replacements for the serial loops;
-* a worker hitting :class:`~repro.pnr.PlacementError` returns a
-  :class:`~repro.core.ppa.FailedRun` instead of poisoning the pool;
-* unpicklable factories/configs and broken pools degrade gracefully to
-  the serial path (counted in :attr:`SweepStats.serial_fallbacks`);
+* **quarantine**: a run that raises — placement infeasibility, a guard
+  violation, an injected fault, anything — becomes a structured
+  :class:`~repro.core.ppa.FailedRun` carrying the failing stage, cause
+  and attempt count.  One bad run never aborts a sweep; the healthy
+  points always come back;
+* **retry with backoff**: transient failures (worker death, ``OSError``,
+  timeouts, :class:`~repro.core.errors.TransientError`) are retried up
+  to :attr:`RetryPolicy.max_attempts` with exponential backoff before
+  being quarantined;
+* **per-run timeout**: :attr:`RetryPolicy.timeout_s` arms a wall-clock
+  alarm inside each run (``SIGALRM``), so a hung stage becomes a
+  retryable :class:`~repro.core.errors.RunTimeout` instead of wedging
+  the sweep, plus a parent-side watchdog for workers the alarm cannot
+  reach;
+* **pool salvage**: a :class:`BrokenProcessPool` no longer throws away
+  completed work — finished futures are harvested and only the
+  unfinished configs are re-dispatched to a fresh pool (counted in
+  :attr:`SweepStats.pool_restarts`); repeated breakage degrades the
+  remainder, not the whole sweep, to the serial path;
+* **checkpoint/resume**: with a :class:`SweepCheckpoint` attached,
+  every settled run is appended (fsync'd) to a JSONL file keyed by the
+  sweep's content identity, so an interrupted sweep resumes exactly
+  where it crashed (``--resume``);
 * with a :class:`~repro.core.cache.FlowCache` attached, previously
   computed (config, netlist, code-version) points are served from disk
-  and only the misses are executed.
+  and only the misses are executed.  When fault injection is active
+  (:mod:`repro.core.faults`) the cache is bypassed so injected
+  failures can never poison real results.
 
-Per-run wall time and hit/miss counters accumulate in
-:attr:`SweepRunner.stats` and are printed by the CLI sweep summaries.
+Per-run wall time and hit/miss/retry/timeout/quarantine counters
+accumulate in :attr:`SweepRunner.stats` and are printed by the CLI
+sweep summaries; when tracing, the same events are counted on the
+sweep trace (``runner.*``) so ``repro trace report`` surfaces them.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
+import signal
 import time
 from concurrent import futures
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
 from ..netlist import Netlist
 from ..pnr import PlacementError
+from . import faults as faults_mod
 from . import telemetry
-from .cache import FlowCache, netlist_fingerprint
+from .cache import (
+    FlowCache,
+    cache_key,
+    netlist_fingerprint,
+    result_from_payload,
+    result_to_payload,
+)
 from .config import FlowConfig
+from .errors import FlowError, RunTimeout, wrap_stage_error
 from .flow import run_flow
 from .ppa import FailedRun, PPAResult
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
+#: Environment variable supplying the default per-run timeout, seconds.
+TIMEOUT_ENV = "REPRO_TIMEOUT"
+#: Environment variable supplying the default max attempts per run.
+RETRIES_ENV = "REPRO_RETRIES"
+
+#: Extra parent-side patience beyond the per-run timeout before the
+#: watchdog declares a worker wedged (the in-worker alarm should always
+#: fire first; the watchdog exists for workers it cannot reach).
+WATCHDOG_GRACE_S = 30.0
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -61,30 +106,169 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner treats a run that fails or hangs.
+
+    ``max_attempts`` bounds the total tries per run (first run plus
+    retries) for *transient* failures; fatal failures are quarantined
+    on the first attempt.  Backoff before attempt ``n+1`` is
+    ``backoff_base_s * backoff_factor**(n-1)`` capped at
+    ``backoff_cap_s``.  ``timeout_s`` is the per-run wall-clock budget
+    (``None`` = unlimited).
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 8.0
+    timeout_s: float | None = None
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Defaults, overridden by ``$REPRO_TIMEOUT``/``$REPRO_RETRIES``."""
+        kwargs = {}
+        timeout = _env_float(TIMEOUT_ENV)
+        if timeout is not None:
+            kwargs["timeout_s"] = timeout
+        retries = _env_float(RETRIES_ENV)
+        if retries is not None:
+            kwargs["max_attempts"] = max(1, int(retries))
+        return cls(**kwargs)
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before retrying after the ``attempt``-th try failed."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        delay = self.backoff_base_s * self.backoff_factor ** max(0, attempt - 1)
+        return min(delay, self.backoff_cap_s)
+
+
+@dataclass(frozen=True)
+class _TransientFailure:
+    """A retryable failure shipped back from a worker (picklable)."""
+
+    stage: str
+    cause: str
+    message: str
+
+
+def _failed_from_error(config: FlowConfig, err: FlowError,
+                       attempts: int = 1) -> FailedRun:
+    """Quarantine one structured flow error as a :class:`FailedRun`."""
+    return FailedRun(
+        label=config.label,
+        target_utilization=config.utilization,
+        reason=str(err),
+        stage=err.stage,
+        cause=err.cause or type(err).__name__,
+        attempts=attempts,
+        quarantined=not isinstance(err, PlacementError),
+    )
+
+
+def _failed_from_transient(config: FlowConfig, failure: _TransientFailure,
+                           attempts: int) -> FailedRun:
+    """Quarantine a transient failure whose retries are exhausted."""
+    return FailedRun(
+        label=config.label,
+        target_utilization=config.utilization,
+        reason=failure.message,
+        stage=failure.stage,
+        cause=failure.cause,
+        attempts=attempts,
+        quarantined=True,
+    )
+
+
 def run_once(netlist_factory: Callable[[], Netlist],
              config: FlowConfig,
              tracer: "telemetry.Tracer | None" = None
              ) -> PPAResult | FailedRun:
-    """Run one flow; a placement failure becomes a :class:`FailedRun`."""
+    """Run one flow; any flow failure becomes a :class:`FailedRun`.
+
+    Single attempt, no timeout — the retry/timeout machinery lives in
+    :class:`SweepRunner`.  Placement infeasibility yields the classic
+    non-quarantined record; every other
+    :class:`~repro.core.errors.FlowError` is quarantined with its stage
+    and cause attached.
+    """
     try:
         return run_flow(netlist_factory, config, tracer=tracer)
-    except PlacementError as exc:
-        return FailedRun(
-            label=config.label,
-            target_utilization=config.utilization,
-            reason=str(exc),
-        )
+    except FlowError as exc:
+        return _failed_from_error(config, exc)
+
+
+@contextmanager
+def _run_alarm(timeout_s: float | None, config: FlowConfig):
+    """Arm a wall-clock alarm that aborts the run with a RunTimeout.
+
+    Uses ``SIGALRM``; silently a no-op where unavailable (non-POSIX,
+    non-main thread) — the parent-side watchdog covers those workers.
+    """
+    if not timeout_s or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeout(
+            f"run exceeded its {timeout_s:g}s wall-clock budget",
+            "", config.label, cause="RunTimeout")
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # not the main thread: no alarm, watchdog only
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _timed_run(netlist_factory: Callable[[], Netlist],
-               config: FlowConfig, trace: bool = False
-               ) -> tuple[PPAResult | FailedRun, float, telemetry.Trace | None]:
+               config: FlowConfig, trace: bool = False,
+               timeout_s: float | None = None, attempt: int = 1,
+               delay_s: float = 0.0
+               ) -> tuple[PPAResult | FailedRun | _TransientFailure, float,
+                          telemetry.Trace | None]:
     # Module-level so the process pool can pickle it as a task target.
     # With ``trace`` the worker builds a Tracer and ships the finished
     # (picklable) Trace back to the parent alongside the result.
+    # Transient failures come back as a marker so the parent can apply
+    # its retry policy; fatal ones come back already quarantined.
+    if delay_s > 0:
+        time.sleep(delay_s)  # retry backoff, served in the worker
+    faults_mod.set_attempt(attempt)
     tracer = telemetry.Tracer(label=config.label) if trace else None
     start = time.perf_counter()
-    result = run_once(netlist_factory, config, tracer=tracer)
+    try:
+        with _run_alarm(timeout_s, config):
+            result: PPAResult | FailedRun | _TransientFailure = \
+                run_flow(netlist_factory, config, tracer=tracer)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:
+        err = wrap_stage_error(exc, "", config.label)
+        if err.transient:
+            result = _TransientFailure(stage=err.stage,
+                                       cause=err.cause or type(err).__name__,
+                                       message=str(err))
+        else:
+            result = _failed_from_error(config, err, attempts=attempt)
     wall = time.perf_counter() - start
     return result, wall, tracer.finish() if tracer is not None else None
 
@@ -97,6 +281,9 @@ class RunRecord:
     result: PPAResult | FailedRun
     wall_time_s: float
     cache_hit: bool = False
+    #: Served from a sweep checkpoint written by an earlier, interrupted
+    #: invocation (``--resume``).
+    resumed: bool = False
     #: Per-run telemetry (None unless the runner traces).
     trace: telemetry.Trace | None = field(default=None, compare=False)
 
@@ -111,6 +298,18 @@ class SweepStats:
     failed: int = 0
     parallel_runs: int = 0
     serial_fallbacks: int = 0
+    #: Transient-failure retries performed (each re-run counts once).
+    retries: int = 0
+    #: Runs that hit the per-run wall-clock timeout (before retries).
+    timeouts: int = 0
+    #: FailedRun records quarantined for unexpected causes (anything
+    #: but plain placement infeasibility).
+    quarantined: int = 0
+    #: Broken process pools salvaged (completed futures kept, the
+    #: unfinished remainder re-dispatched to a fresh pool).
+    pool_restarts: int = 0
+    #: Records served from a sweep checkpoint (``--resume``).
+    resumed: int = 0
     #: Summed per-run wall time (serial-equivalent cost).
     run_time_s: float = 0.0
     #: End-to-end time spent inside ``run_records`` calls.
@@ -125,11 +324,15 @@ class SweepStats:
         self.runs += 1
         if rec.cache_hit:
             self.cache_hits += 1
+        elif rec.resumed:
+            self.resumed += 1
         else:
             self.executed += 1
             self.run_time_s += rec.wall_time_s
         if isinstance(rec.result, FailedRun):
             self.failed += 1
+            if rec.result.quarantined:
+                self.quarantined += 1
         if rec.trace is not None:
             self.absorb_trace(rec.trace)
 
@@ -151,12 +354,115 @@ class SweepStats:
             f"{self.cache_hits} cached",
             f"{self.executed} executed ({self.parallel_runs} parallel)",
         ]
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
         if self.failed:
             parts.append(f"{self.failed} failed")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.pool_restarts:
+            parts.append(f"{self.pool_restarts} pool restarts")
         if self.serial_fallbacks:
             parts.append(f"{self.serial_fallbacks} serial fallbacks")
         return (f"sweep: {', '.join(parts)} in {self.elapsed_s:.1f}s wall "
                 f"({self.run_time_s:.1f}s flow time)")
+
+
+class SweepCheckpoint:
+    """Append-only, crash-safe record of a sweep's settled runs.
+
+    A JSONL file: a header line binding the file to one sweep identity
+    (the hash of every run's content-addressed key, so a checkpoint can
+    never resume a *different* sweep), then one fsync'd line per
+    settled run.  A process killed mid-write leaves at most one
+    truncated trailing line, which :meth:`begin` skips.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | os.PathLike, resume: bool = True) -> None:
+        self.path = Path(path)
+        self.resume = resume
+        self._handle = None
+
+    @staticmethod
+    def sweep_id(keys: Sequence[str]) -> str:
+        blob = json.dumps(list(keys), separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def begin(self, sweep_id: str) -> dict[str, tuple]:
+        """Open for appending; returns previously settled ``key ->
+        (result, wall_time_s)`` entries when resuming the same sweep."""
+        entries: dict[str, tuple] = {}
+        lines_kept = 0
+        if self.resume and self.path.is_file():
+            try:
+                raw_lines = self.path.read_text().splitlines()
+            except OSError:
+                raw_lines = []
+            header_ok = False
+            for line in raw_lines:
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    break  # truncated tail from a mid-write crash
+                if not lines_kept:
+                    header_ok = (payload.get("ev") == "sweep"
+                                 and payload.get("id") == sweep_id
+                                 and payload.get("version") == self.VERSION)
+                    if not header_ok:
+                        break
+                elif payload.get("ev") == "run":
+                    try:
+                        result = result_from_payload(payload["payload"])
+                    except (KeyError, TypeError, ValueError):
+                        break
+                    entries[payload["key"]] = \
+                        (result, payload.get("wall", 0.0))
+                lines_kept += 1
+            if not header_ok:
+                entries = {}
+                lines_kept = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if lines_kept:
+            # Resuming: keep the intact prefix, drop any truncated tail.
+            intact = "\n".join(self.path.read_text().splitlines()[:lines_kept])
+            self._handle = open(self.path, "w")
+            self._handle.write(intact + "\n")
+        else:
+            self._handle = open(self.path, "w")
+            self._handle.write(json.dumps(
+                {"ev": "sweep", "id": sweep_id,
+                 "version": self.VERSION}) + "\n")
+        self._flush()
+        return entries
+
+    def record(self, key: str, result: PPAResult | FailedRun,
+               wall_time_s: float) -> None:
+        """Append one settled run; durable once this returns."""
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps({
+            "ev": "run", "key": key, "wall": wall_time_s,
+            "payload": result_to_payload(result),
+        }) + "\n")
+        self._flush()
+
+    def finish(self) -> None:
+        """Close out a completed sweep (the file remains resumable)."""
+        if self._handle is not None:
+            self._handle.write(json.dumps({"ev": "end"}) + "\n")
+            self._flush()
+            self._handle.close()
+            self._handle = None
+
+    def _flush(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
 
 
 class SweepRunner:
@@ -165,14 +471,23 @@ class SweepRunner:
     One runner can serve many sweeps; its :attr:`stats` accumulate
     across calls.  With ``jobs=1`` (the default without ``$REPRO_JOBS``)
     everything runs serially in-process, which keeps library master
-    caches warm and behavior identical to the historical loops.
+    caches warm and behavior identical to the historical loops.  The
+    retry policy applies identically on the serial and pool paths, so
+    ``--jobs`` never changes what a sweep returns.
     """
 
     def __init__(self, jobs: int | None = None,
                  cache: FlowCache | None = None,
-                 trace_dir: str | os.PathLike | None = None) -> None:
+                 trace_dir: str | os.PathLike | None = None,
+                 retry: RetryPolicy | None = None,
+                 checkpoint: str | os.PathLike | None = None,
+                 resume: bool = True) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        #: Path of the crash-safe sweep checkpoint (None = disabled).
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self.resume = resume
         self.stats = SweepStats()
         #: When set, every executed run is traced (worker processes
         #: ship their traces back) and one ``run-NNNN.jsonl`` file per
@@ -205,17 +520,26 @@ class SweepRunner:
         keys: list[str | None] = [None] * len(configs)
         pending = list(range(len(configs)))
 
-        duplicates: list[tuple[int, int]] = []
-        if self.cache is not None and configs:
+        # Fault injection must never touch (or be hidden by) real
+        # cached results: an active plan bypasses the cache entirely.
+        cache = self.cache if not faults_mod.faults_active() else None
+        need_keys = (cache is not None or self.checkpoint is not None) \
+            and configs
+        if need_keys:
             fingerprint = netlist_fingerprint(netlist_factory())
+            version = cache.version if cache is not None else None
+            for i in pending:
+                keys[i] = cache_key(configs[i], fingerprint, version=version)
+
+        duplicates: list[tuple[int, int]] = []
+        if cache is not None and configs:
             misses = []
             first_miss: dict[str, int] = {}
             with telemetry.activate(sweep_tracer):
                 # Cache hits are recorded by FlowCache.get as zero-cost
                 # ``cache_hit`` spans on the active (sweep) tracer.
                 for i in pending:
-                    keys[i] = self.cache.key_for(configs[i], fingerprint)
-                    hit = self.cache.get(keys[i])
+                    hit = cache.get(keys[i])
                     if hit is not None:
                         records[i] = RunRecord(configs[i], hit, 0.0,
                                                cache_hit=True)
@@ -227,22 +551,54 @@ class SweepRunner:
                         misses.append(i)
             pending = misses
 
+        ckpt: SweepCheckpoint | None = None
+        if self.checkpoint is not None and configs:
+            ckpt = SweepCheckpoint(self.checkpoint, resume=self.resume)
+            settled = ckpt.begin(SweepCheckpoint.sweep_id(
+                [k for k in keys if k is not None]))
+            still_pending = []
+            for i in pending:
+                entry = settled.get(keys[i])
+                if entry is not None:
+                    result, wall = entry
+                    records[i] = RunRecord(configs[i], result, wall,
+                                           resumed=True)
+                else:
+                    still_pending.append(i)
+            pending = still_pending
+
+        def settle(slot: int, outcome: tuple) -> None:
+            i = pending[slot]
+            result, wall, trace = outcome
+            records[i] = RunRecord(configs[i], result, wall, trace=trace)
+            if ckpt is not None and keys[i] is not None:
+                ckpt.record(keys[i], result, wall)
+
         if pending:
-            outcomes = None
+            ran_in_pool = False
             if self.jobs > 1 and len(pending) > 1:
-                outcomes = self._run_pool(
+                ran_in_pool = self._run_pool(
                     netlist_factory, [configs[i] for i in pending],
-                    trace=tracing)
-            if outcomes is None:
-                outcomes = [_timed_run(netlist_factory, configs[i],
-                                       trace=tracing)
-                            for i in pending]
+                    settle, sweep_tracer, trace=tracing)
+            if not ran_in_pool:
+                for slot in range(len(pending)):
+                    settle(slot, self._run_serial(
+                        netlist_factory, configs[pending[slot]],
+                        sweep_tracer, trace=tracing))
             else:
                 self.stats.parallel_runs += len(pending)
-            for i, (result, wall, trace) in zip(pending, outcomes):
-                records[i] = RunRecord(configs[i], result, wall, trace=trace)
-                if self.cache is not None and keys[i] is not None:
-                    self.cache.put(keys[i], result)
+            if cache is not None:
+                for i in pending:
+                    result = records[i].result
+                    # Quarantined failures are not cached: a transient
+                    # failure may well succeed on the next invocation,
+                    # and must not be served as a permanent result.
+                    if keys[i] is not None and not (
+                            isinstance(result, FailedRun)
+                            and result.quarantined):
+                        cache.put(keys[i], result)
+        if ckpt is not None:
+            ckpt.finish()
         for i, source in duplicates:
             records[i] = RunRecord(configs[i], records[source].result, 0.0,
                                    cache_hit=True)
@@ -255,6 +611,48 @@ class SweepRunner:
         return records
 
     # -- internals ----------------------------------------------------------
+    def _note(self, tracer, event: str, count: int = 1) -> None:
+        """Mirror a runner event into the sweep trace counters."""
+        tracer.count(f"runner.{event}", count)
+
+    def _settle_transient(self, outcome, config: FlowConfig, attempt: int,
+                          tracer) -> tuple:
+        """Bookkeeping shared by both paths when a try comes back.
+
+        Returns ``(final_outcome_or_None, retry: bool)`` — final when
+        the run settled (success, fatal, or retries exhausted), retry
+        when the caller should run it again.
+        """
+        result = outcome[0]
+        if isinstance(result, _TransientFailure):
+            if result.cause == "RunTimeout":
+                self.stats.timeouts += 1
+                self._note(tracer, "timeouts")
+            if attempt < self.retry.max_attempts:
+                self.stats.retries += 1
+                self._note(tracer, "retries")
+                return None, True
+            failed = _failed_from_transient(config, result, attempt)
+            self._note(tracer, "quarantined")
+            return (failed, outcome[1], outcome[2]), False
+        if isinstance(result, FailedRun) and result.quarantined:
+            self._note(tracer, "quarantined")
+        return outcome, False
+
+    def _run_serial(self, netlist_factory, config: FlowConfig, tracer,
+                    trace: bool = False) -> tuple:
+        """One run on the serial path, with the full retry policy."""
+        attempt = 1
+        while True:
+            outcome = _timed_run(netlist_factory, config, trace,
+                                 self.retry.timeout_s, attempt)
+            final, retry = self._settle_transient(outcome, config, attempt,
+                                                  tracer)
+            if not retry:
+                return final
+            time.sleep(self.retry.backoff_s(attempt))
+            attempt += 1
+
     def _write_traces(self, records: list[RunRecord],
                       sweep_tracer: "telemetry.Tracer") -> None:
         """Emit one JSONL file per executed run, plus the sweep trace."""
@@ -270,20 +668,157 @@ class SweepRunner:
                 self.trace_dir / f"sweep-{self._trace_seq:04d}.jsonl")
             self._trace_seq += 1
 
-    def _run_pool(self, netlist_factory, configs, trace=False):
-        """Pool execution in submission order; None -> use serial path."""
+    def _run_pool(self, netlist_factory, configs, settle, tracer,
+                  trace=False) -> bool:
+        """Pool execution with retry, salvage and watchdog.
+
+        Calls ``settle(slot, outcome)`` exactly once per config as runs
+        finish (in completion order; the caller re-orders).  Returns
+        False when the pool cannot be used at all (unpicklable inputs,
+        pool construction failure) and nothing was settled — the caller
+        then takes the serial path.
+        """
         try:
             pickle.dumps((netlist_factory, configs))
         except Exception:
             self.stats.serial_fallbacks += 1
-            return None
-        workers = min(self.jobs, len(configs))
-        try:
-            with futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                tasks = [pool.submit(_timed_run, netlist_factory, config,
-                                     trace)
-                         for config in configs]
-                return [task.result() for task in tasks]
-        except (futures.process.BrokenProcessPool, OSError, ImportError):
-            self.stats.serial_fallbacks += 1
-            return None
+            return False
+
+        n = len(configs)
+        attempts = {slot: 1 for slot in range(n)}
+        pending = list(range(n))
+        #: Pool restarts tolerated before the remainder goes serial.
+        max_restarts = max(3, self.retry.max_attempts)
+        restarts = 0
+        settled_any = False
+
+        while pending:
+            if restarts > max_restarts:
+                # The pool keeps dying on this host: stop fighting it
+                # and finish the remainder in-process.
+                self.stats.serial_fallbacks += 1
+                self._note(tracer, "serial_fallbacks")
+                for slot in list(pending):
+                    settle(slot, self._run_serial(
+                        netlist_factory, configs[slot], tracer, trace))
+                    pending.remove(slot)
+                return True
+
+            workers = min(self.jobs, len(pending))
+            try:
+                pool = futures.ProcessPoolExecutor(max_workers=workers)
+            except (OSError, ImportError):
+                self.stats.serial_fallbacks += 1
+                if not settled_any:
+                    return False  # nothing settled yet: plain serial path
+                self._note(tracer, "serial_fallbacks")
+                for slot in list(pending):
+                    settle(slot, self._run_serial(
+                        netlist_factory, configs[slot], tracer, trace))
+                    pending.remove(slot)
+                return True
+
+            broken = False
+            fut_map: dict = {}
+            try:
+                for slot in pending:
+                    fut_map[pool.submit(
+                        _timed_run, netlist_factory, configs[slot], trace,
+                        self.retry.timeout_s, attempts[slot])] = slot
+                waiting = set(fut_map)
+                watchdog = (None if self.retry.timeout_s is None
+                            else self.retry.timeout_s + WATCHDOG_GRACE_S)
+                while waiting:
+                    done, waiting = futures.wait(
+                        waiting, timeout=watchdog,
+                        return_when=futures.FIRST_COMPLETED)
+                    if not done:
+                        # Watchdog: no progress for a whole timeout
+                        # budget + grace.  Cancel what never started
+                        # (retried on a fresh pool) and quarantine what
+                        # is wedged beyond the in-worker alarm's reach.
+                        for fut in waiting:
+                            slot = fut_map[fut]
+                            if fut.cancel():
+                                continue  # still queued: just re-run it
+                            self.stats.timeouts += 1
+                            self._note(tracer, "timeouts")
+                            self._note(tracer, "quarantined")
+                            settle(slot, (FailedRun(
+                                label=configs[slot].label,
+                                target_utilization=configs[slot].utilization,
+                                reason=("worker wedged past the "
+                                        f"{self.retry.timeout_s:g}s timeout "
+                                        "and its grace period"),
+                                stage="", cause="RunTimeout",
+                                attempts=attempts[slot], quarantined=True,
+                            ), 0.0, None))
+                            settled_any = True
+                            pending.remove(slot)
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        broken = True
+                        restarts += 1
+                        self.stats.pool_restarts += 1
+                        self._note(tracer, "pool_restarts")
+                        break
+                    for fut in done:
+                        slot = fut_map[fut]
+                        try:
+                            outcome = fut.result()
+                        except futures.process.BrokenProcessPool:
+                            broken = True
+                            break
+                        except (OSError, RuntimeError) as exc:
+                            # Transport-level failure: treat like a
+                            # transient worker failure of this run.
+                            outcome = (_TransientFailure(
+                                stage="", cause=type(exc).__name__,
+                                message=str(exc)), 0.0, None)
+                        final, retry = self._settle_transient(
+                            outcome, configs[slot], attempts[slot], tracer)
+                        if retry:
+                            attempts[slot] += 1
+                            fresh = pool.submit(
+                                _timed_run, netlist_factory, configs[slot],
+                                trace, self.retry.timeout_s, attempts[slot],
+                                self.retry.backoff_s(attempts[slot] - 1))
+                            fut_map[fresh] = slot
+                            waiting.add(fresh)
+                        else:
+                            settle(slot, final)
+                            settled_any = True
+                            pending.remove(slot)
+                    if broken:
+                        break
+            except futures.process.BrokenProcessPool:
+                broken = True
+            finally:
+                pool.shutdown(wait=not broken, cancel_futures=True)
+
+            if broken and pending:
+                # Salvage: completed futures already settled above; the
+                # unfinished remainder is re-dispatched to a fresh pool.
+                # Each re-dispatch consumes an attempt so a run that
+                # keeps killing its worker is eventually quarantined.
+                restarts += 1
+                self.stats.pool_restarts += 1
+                self._note(tracer, "pool_restarts")
+                for slot in list(pending):
+                    if attempts[slot] >= self.retry.max_attempts:
+                        self._note(tracer, "quarantined")
+                        settle(slot, (FailedRun(
+                            label=configs[slot].label,
+                            target_utilization=configs[slot].utilization,
+                            reason=(f"worker process died "
+                                    f"{attempts[slot]} times "
+                                    "(BrokenProcessPool)"),
+                            stage="", cause="WorkerDied",
+                            attempts=attempts[slot], quarantined=True,
+                        ), 0.0, None))
+                        settled_any = True
+                        pending.remove(slot)
+                    else:
+                        attempts[slot] += 1
+                        self.stats.retries += 1
+                        self._note(tracer, "retries")
+        return True

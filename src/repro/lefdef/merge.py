@@ -9,6 +9,7 @@ segments per net plus a consistency check on the component lists.
 
 from __future__ import annotations
 
+from ..core.errors import MergeError
 from .def_ import DefDesign
 
 
@@ -31,16 +32,18 @@ def merge_defs(front: DefDesign, back: DefDesign,
     if front_masters != back_masters:
         only_front = set(front_masters) - set(back_masters)
         only_back = set(back_masters) - set(front_masters)
-        raise ValueError(
+        raise MergeError(
             "front/back DEF component mismatch: "
-            f"{len(only_front)} only-front, {len(only_back)} only-back"
+            f"{len(only_front)} only-front, {len(only_back)} only-back",
+            "def_merge",
         )
     front_layers = {l for l in front.layers_used() if l.startswith("B")}
     back_layers = {l for l in back.layers_used() if l.startswith("F")}
     if front_layers or back_layers:
-        raise ValueError(
+        raise MergeError(
             f"side/layer mismatch: front uses {front_layers}, "
-            f"back uses {back_layers}"
+            f"back uses {back_layers}",
+            "def_merge",
         )
 
     merged = DefDesign(

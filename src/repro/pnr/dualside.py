@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cells import Library
+from ..core.errors import DecompositionError
 from ..netlist import Netlist
 from ..tech import Side
 from .placement import Placement
@@ -113,15 +114,17 @@ def _decompose_once(netlist: Netlist, library: Library, placement: Placement,
             if not side_sinks and not (side is Side.FRONT and net.is_primary_output):
                 continue
             if side not in available:
-                raise ValueError(
+                raise DecompositionError(
                     f"net {net_name}: sink on {side} but no {side} routing "
-                    f"layers in {tech.name}"
+                    f"layers in {tech.name}",
+                    "routing",
                 )
             if side not in source_sides:
                 if not allow_bridging:
-                    raise ValueError(
+                    raise DecompositionError(
                         f"net {net_name}: source cannot reach {side} "
-                        "(enable bridging or use dual-sided output pins)"
+                        "(enable bridging or use dual-sided output pins)",
+                        "routing",
                     )
                 bridge_counter += 1
                 decomp.bridges.append(

@@ -18,13 +18,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cells import Library
+from ..core.errors import FatalError
 from ..netlist import Netlist
 from .geometry import Die, Point
 from .powerplan import PowerPlan
 
 
-class PlacementError(RuntimeError):
-    """The design cannot be legally placed on the given die."""
+class PlacementError(FatalError):
+    """The design cannot be legally placed on the given die.
+
+    Deterministic for a given (netlist, config): the sweep runner never
+    retries it, recording a quarantined
+    :class:`~repro.core.ppa.FailedRun` instead.
+    """
 
 
 @dataclass

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...core.errors import RoutingError
 from ...tech import Side
 from .grid import RoutingGrid
 
@@ -258,7 +259,8 @@ class GlobalRouter:
                     parent[nxt] = node
                     heapq.heappush(open_heap, (ng + heuristic(nxt), ng, nxt))
         if target not in best_cost:
-            raise RuntimeError(f"maze routing failed to reach {target}")
+            raise RoutingError(f"maze routing failed to reach {target}",
+                               "routing")
         path = [target]
         while path[-1] in parent:
             path.append(parent[path[-1]])
