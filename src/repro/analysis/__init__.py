@@ -7,12 +7,21 @@ from .report import (
     layout_summary,
     placement_density_map,
 )
-from .stats import Ellipse, confidence_ellipse, pareto_front, relative_diff
+from .stats import (
+    Ellipse,
+    SampleStats,
+    confidence_ellipse,
+    pareto_front,
+    quantile,
+    relative_diff,
+    sample_stats,
+)
 
 __all__ = [
     "BACKSIDE_ENABLEMENT_COST",
     "BeolCost",
     "Ellipse",
+    "SampleStats",
     "ascii_heatmap",
     "beol_cost",
     "confidence_ellipse",
@@ -21,5 +30,7 @@ __all__ = [
     "layout_summary",
     "pareto_front",
     "placement_density_map",
+    "quantile",
     "relative_diff",
+    "sample_stats",
 ]

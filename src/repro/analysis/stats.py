@@ -48,10 +48,20 @@ def confidence_ellipse(xs, ys, confidence: float = 0.50) -> Ellipse:
     """
     xs = np.asarray(xs, dtype=float)
     ys = np.asarray(ys, dtype=float)
-    if xs.shape != ys.shape or xs.size < 3:
-        raise ValueError("need at least 3 paired samples")
+    if xs.shape != ys.shape:
+        raise ValueError(
+            f"xs and ys must be paired: got shapes {xs.shape} and {ys.shape}")
+    if xs.size < 3:
+        raise ValueError(
+            f"need at least 3 paired samples to fit an ellipse, got {xs.size}")
     if not 0.0 < confidence < 1.0:
         raise ValueError("confidence must be in (0, 1)")
+    if np.all(xs == xs[0]) and np.all(ys == ys[0]):
+        # An identical cloud has no spread: an exact zero ellipse at the
+        # point, not whatever rounding eigh makes of a zero covariance.
+        return Ellipse(center_x=float(xs[0]), center_y=float(ys[0]),
+                       semi_major=0.0, semi_minor=0.0, angle_rad=0.0,
+                       confidence=confidence)
     cov = np.cov(np.vstack([xs, ys]))
     eigvals, eigvecs = np.linalg.eigh(cov)
     eigvals = np.maximum(eigvals, 0.0)
@@ -67,6 +77,88 @@ def confidence_ellipse(xs, ys, confidence: float = 0.50) -> Ellipse:
         semi_minor=minor,
         angle_rad=angle,
         confidence=confidence,
+    )
+
+
+#: Quantiles the variation signoff reports by default.
+DEFAULT_QUANTILES = (0.01, 0.05, 0.50, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Summary statistics of one scalar metric over Monte-Carlo samples.
+
+    ``std`` is the sample (ddof=1) standard deviation, 0.0 for a single
+    sample.  ``quantiles`` maps requested levels to linearly
+    interpolated values.  Built by :func:`sample_stats` from plain
+    Python floats so the result is platform-deterministic and
+    JSON-friendly.
+    """
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    quantiles: dict[float, float]
+
+    def quantile(self, q: float) -> float:
+        return self.quantiles[q]
+
+    @property
+    def median(self) -> float:
+        return self.quantiles.get(0.50, self.mean)
+
+    def mean_minus_sigmas(self, sigmas: float) -> float:
+        """``mean - sigmas * std`` — e.g. the 3-sigma-low metric value."""
+        return self.mean - sigmas * self.std
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (quantile keys become strings)."""
+        return {
+            "n": self.n, "mean": self.mean, "std": self.std,
+            "min": self.minimum, "max": self.maximum,
+            "quantiles": {f"{q:g}": v for q, v in self.quantiles.items()},
+        }
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending-sorted list."""
+    if not sorted_values:
+        raise ValueError("cannot take a quantile of no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile level must be in [0, 1]")
+    pos = q * (len(sorted_values) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return sorted_values[lo]
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def sample_stats(values, quantiles=DEFAULT_QUANTILES) -> SampleStats:
+    """Mean / sample sigma / extremes / quantiles of scalar samples."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("cannot summarize zero samples")
+    n = len(values)
+    ordered = sorted(values)
+    if ordered[0] == ordered[-1]:
+        # A constant sample has exactly zero spread; the generic path
+        # below can round the mean by an ulp (sum of n identical floats
+        # overflows the mantissa) and report a ~1e-15 sigma.
+        mean, var = ordered[0], 0.0
+    else:
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+    return SampleStats(
+        n=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        quantiles={q: quantile(ordered, q) for q in quantiles},
     )
 
 

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep frequency --targets 0.5 1.5 3.0 --jobs 4
     python -m repro doe pin-density --fractions 0.04 0.3 0.5
     python -m repro compare
+    python -m repro mc --samples 256 --overlay-sigma 2 --jobs 4
     python -m repro cache info
     python -m repro run --trace traces/ && python -m repro trace report traces/
 
@@ -31,6 +32,7 @@ and ``--inject-faults`` injects deterministic faults for testing.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -301,11 +303,64 @@ def cmd_compare(args) -> int:
     return _exit_code(args, runner)
 
 
+def cmd_mc(args) -> int:
+    from .core import Tracer
+    from .variation import (VariationModel, format_signoff, run_monte_carlo,
+                            signoff)
+    factory = _factory_from(args)
+    config = _config_from(args)
+    cache = None if args.no_cache else FlowCache(args.cache_dir)
+    model = VariationModel.for_arch(config.arch,
+                                    overlay_sigma_nm=args.overlay_sigma,
+                                    cd_sigma=args.cd_sigma,
+                                    rc_sigma=args.rc_sigma)
+    tracer = Tracer(label=f"mc {config.label}") if args.trace else None
+    mc = run_monte_carlo(factory, config, model=model, samples=args.samples,
+                         seed=args.seed, jobs=args.jobs, cache=cache,
+                         tracer=tracer)
+    report = signoff(mc)
+    print(format_signoff(report))
+    if mc.nominal_cached:
+        print("nominal flow served from the cache")
+    for failure in mc.failed:
+        print(f"QUARANTINED: sample={failure.index} "
+              f"cause={failure.cause or '?'} error={failure.reason}")
+    if tracer is not None:
+        trace = tracer.finish()
+        path = trace.write(os.path.join(args.trace, "mc-0000.jsonl"))
+        print(f"trace written to {path}")
+    if args.json:
+        payload = report.to_dict()
+        # Per-sample rows make the output a full determinism witness:
+        # two runs agree on this file iff they agree on every sample.
+        payload["sample_rows"] = [
+            {"index": s.index, "seed": s.seed,
+             "overlay_shift_nm": s.overlay_shift_nm,
+             "cell_derate": s.cell_derate,
+             "frequency_ghz": s.achieved_frequency_ghz,
+             "wns_ps": s.wns_ps, "power_mw": s.total_power_mw}
+            for s in mc.samples
+        ]
+        payload["failed_rows"] = [
+            {"index": f.index, "seed": f.seed, "cause": f.cause}
+            for f in mc.failed
+        ]
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if mc.failed and not getattr(args, "keep_going", False):
+        return 1
+    return 0
+
+
 def cmd_cache(args) -> int:
     cache = FlowCache(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.directory}")
+    elif getattr(args, "json", False):
+        print(json.dumps(cache.info(), indent=2, sort_keys=True))
     else:
         info = cache.info()
         print(f"cache directory: {info['directory']}")
@@ -315,6 +370,9 @@ def cmd_cache(args) -> int:
         else:
             print(f"cached results: {info['entries']} "
                   f"({info['total_bytes'] / 1024:.1f} KiB)")
+        if info["blob_entries"]:
+            print(f"cached artifact blobs: {info['blob_entries']} "
+                  f"({info['blob_bytes'] / 1024:.1f} KiB)")
         if info["stale_tmp_files"]:
             print(f"stale tmp files: {info['stale_tmp_files']} "
                   "(from writers that died mid-put; "
@@ -324,24 +382,38 @@ def cmd_cache(args) -> int:
 
 def cmd_trace(args) -> int:
     from .core import telemetry
+    as_json = getattr(args, "json", False)
     try:
         traces = telemetry.load_traces(args.path)
     except OSError as exc:
-        print(f"cannot read traces from {args.path}: {exc}")
+        print(f"cannot read traces from {args.path}: {exc}",
+              file=sys.stderr if as_json else sys.stdout)
         return 1
     if not traces:
-        print(f"no traces found in {args.path}")
+        print(f"no traces found in {args.path}",
+              file=sys.stderr if as_json else sys.stdout)
         return 1
     stage_times = telemetry.aggregate_stage_times(traces)
     runs = [t for t in traces if t.label != "sweep"]
+    counters: dict[str, float] = {}
+    for trace in traces:
+        telemetry.merge_counters(counters, trace.counters)
+    if as_json:
+        # Schema documented in docs/observability.md.
+        print(json.dumps({
+            "path": args.path,
+            "traces": len(traces),
+            "runs": len(runs),
+            "total_s": sum(t.total_s for t in traces),
+            "stage_time_s": stage_times,
+            "counters": counters,
+        }, indent=2, sort_keys=True))
+        return 0
     if len(runs) == 1 and runs[0].label:
         title = f"stage breakdown: {runs[0].label}"
     else:
         title = f"stage breakdown over {len(runs)} runs"
     print(telemetry.format_stage_table(stage_times, title=title))
-    counters: dict[str, float] = {}
-    for trace in traces:
-        telemetry.merge_counters(counters, trace.counters)
     if counters:
         print("counters:")
         for name in sorted(counters):
@@ -403,11 +475,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_args(p)
     p.set_defaults(func=cmd_compare)
 
+    p = sub.add_parser("mc",
+                       help="overlay-aware Monte-Carlo variation study "
+                            "with statistical PPA signoff")
+    _add_core_args(p)
+    _add_config_args(p)
+    p.add_argument("--samples", type=int, default=64,
+                   help="Monte-Carlo sample count (default: 64)")
+    p.add_argument("--overlay-sigma", type=float, default=2.0,
+                   metavar="NM",
+                   help="frontside/backside overlay sigma per axis, nm")
+    p.add_argument("--cd-sigma", type=float, default=0.03, metavar="REL",
+                   help="CD/gate-length cell-delay sigma (relative)")
+    p.add_argument("--rc-sigma", type=float, default=0.04, metavar="REL",
+                   help="metal thickness/width wire-RC sigma (relative)")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the signoff report + per-sample rows as JSON")
+    p.add_argument("--jobs", "-j", type=int, default=None,
+                   help="parallel sample-evaluation workers (default: "
+                        "$REPRO_JOBS or 1; 0 = one per core); never "
+                        "changes the results")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute the nominal flow, bypassing the cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                        "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    p.add_argument("--trace", metavar="DIR", default=None,
+                   help="write the study's telemetry trace (JSONL) into DIR")
+    p.add_argument("--keep-going", action="store_true",
+                   help="exit 0 even when some samples were quarantined")
+    p.set_defaults(func=cmd_mc)
+
     p = sub.add_parser("cache", help="inspect or clear the flow result cache")
     p.add_argument("action", choices=("info", "clear"))
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: $REPRO_CACHE_DIR "
                         "or ~/.cache/repro)")
+    p.add_argument("--json", action="store_true",
+                   help="print the cache summary as JSON "
+                        "(see docs/observability.md for the schema)")
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("trace",
@@ -415,6 +521,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=("report",))
     p.add_argument("path",
                    help="a trace .jsonl file or a --trace output directory")
+    p.add_argument("--json", action="store_true",
+                   help="print the aggregated report as JSON "
+                        "(see docs/observability.md for the schema)")
     p.set_defaults(func=cmd_trace)
     return parser
 

@@ -219,6 +219,59 @@ class FlowCache:
         tmp.write_text(json.dumps(payload))
         tmp.replace(path)
 
+    # -- pickle blob sidecar -------------------------------------------------
+    # Larger-than-JSON payloads keyed by the same content-addressed
+    # keys: the Monte-Carlo engine stores each nominal run's (result,
+    # netlist, library, extraction) here so re-running ``repro mc`` with
+    # different sample counts never repeats the expensive flow.
+
+    def _blob_path(self, key: str, kind: str) -> Path:
+        return self.directory / "blobs" / kind / key[:2] / f"{key}.pkl"
+
+    def get_blob(self, key: str, kind: str):
+        """Unpickle a stored blob; None on miss or damage (then deleted)."""
+        import pickle
+        path = self._blob_path(key, kind)
+        tracer = telemetry.current_tracer()
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            tracer.count("cache.blob_misses")
+            return None
+        try:
+            obj = pickle.loads(blob)
+        except Exception:
+            self.corrupt += 1
+            tracer.count("cache.corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            tracer.count("cache.blob_misses")
+            return None
+        tracer.count("cache.blob_hits")
+        return obj
+
+    def put_blob(self, key: str, kind: str, obj) -> bool:
+        """Pickle ``obj`` under ``key``; False when it cannot be stored."""
+        import pickle
+        try:
+            blob = pickle.dumps(obj)
+        except Exception:
+            return False
+        path = self._blob_path(key, kind)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(blob)
+        tmp.replace(path)
+        return True
+
+    def _blob_files(self):
+        blobs = self.directory / "blobs"
+        if not blobs.is_dir():
+            return
+        yield from blobs.glob("*/??/*.pkl")
+
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns whether it existed."""
         try:
@@ -244,6 +297,14 @@ class FlowCache:
                 except OSError:
                     pass
             for path in self._stale_tmp_files():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for path in list(self._blob_files()) + list(
+                    (self.directory / "blobs").glob("*/??/*.tmp.*")
+                    if (self.directory / "blobs").is_dir() else []):
                 try:
                     path.unlink()
                     removed += 1
@@ -276,6 +337,15 @@ class FlowCache:
                 mtime = stat.st_mtime
                 oldest = mtime if oldest is None else min(oldest, mtime)
                 newest = mtime if newest is None else max(newest, mtime)
+        blob_entries = 0
+        blob_bytes = 0
+        for path in self._blob_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            blob_entries += 1
+            blob_bytes += stat.st_size
         return {
             "directory": str(self.directory),
             "exists": self.directory.is_dir(),
@@ -284,4 +354,6 @@ class FlowCache:
             "oldest_mtime": oldest,
             "newest_mtime": newest,
             "stale_tmp_files": sum(1 for _ in self._stale_tmp_files()),
+            "blob_entries": blob_entries,
+            "blob_bytes": blob_bytes,
         }

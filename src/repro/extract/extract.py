@@ -75,6 +75,7 @@ def extract_net(net_name: str, segments: list[RouteSegment],
 
     endpoints: list[tuple[float, float]] = []
     wirelength = 0.0
+    back_wirelength = 0.0
     via_count = 0
     max_level = 0
     for seg in segments:
@@ -82,6 +83,8 @@ def extract_net(net_name: str, segments: list[RouteSegment],
         max_level = max(max_level, layer.index)
         length_um = seg.length_nm / 1000.0
         wirelength += seg.length_nm
+        if seg.layer.startswith("BM"):
+            back_wirelength += seg.length_nm
         r = layer.resistance_kohm_per_um * length_um * rc_scale
         c = layer.capacitance_ff_per_um * length_um * rc_scale
         a = (round(seg.x1_nm), round(seg.y1_nm))
@@ -138,6 +141,7 @@ def extract_net(net_name: str, segments: list[RouteSegment],
         sink_elmore_ps=sink_elmore,
         wirelength_nm=wirelength,
         via_count=via_count,
+        back_wirelength_nm=back_wirelength,
     )
 
 

@@ -1,9 +1,9 @@
 """Static timing analysis: setup (max) and hold (min) checks."""
 
-from .corners import CORNERS, Corner, analyze_corners, worst_corner
+from .corners import CORNERS, Corner, analyze_corners, derate_report, worst_corner
 from .hold import FAST_CORNER_DERATE, HoldReport, analyze_hold, fix_hold
 from .paths import PathStage, TimingPath, format_path, report_critical_path
-from .rc_scale import scale_extraction
+from .rc_scale import scale_extraction, scale_extraction_sided
 from .sta import (
     PRIMARY_INPUT_SLEW_PS,
     PinTiming,
@@ -24,9 +24,11 @@ __all__ = [
     "analyze_hold",
     "TimingPath",
     "analyze_timing",
+    "derate_report",
     "format_path",
     "report_critical_path",
     "scale_extraction",
+    "scale_extraction_sided",
     "worst_corner",
     "fix_hold",
 ]

@@ -48,8 +48,8 @@ def analyze_corners(netlist: Netlist, library: Library,
     for corner in corners:
         scaled = scale_extraction(extraction, corner.wire_derate)
         report = analyze_timing(netlist, library, scaled, period_ps, clock)
-        reports[corner.name] = _derate_report(report, corner.cell_derate,
-                                              period_ps)
+        reports[corner.name] = derate_report(report, corner.cell_derate,
+                                             period_ps)
     return reports
 
 
@@ -59,8 +59,15 @@ def worst_corner(reports: dict[str, TimingReport]) -> tuple[str, TimingReport]:
     return name, reports[name]
 
 
-def _derate_report(report: TimingReport, cell_derate: float,
-                   period_ps: float) -> TimingReport:
+def derate_report(report: TimingReport, cell_derate: float,
+                  period_ps: float) -> TimingReport:
+    """Apply a global cell-delay derate to a finished timing report.
+
+    The arrival-side quantities scale by ``cell_derate`` while the
+    period stays fixed — the same OCV-style global factor
+    :func:`analyze_corners` uses, exposed for the Monte-Carlo variation
+    engine's per-sample CD/gate-length derates.
+    """
     from dataclasses import replace
 
     arrival = report.worst_arrival_ps * cell_derate

@@ -1,4 +1,4 @@
-"""Helper: scale an extraction's wire RC by a corner derate."""
+"""Helpers: scale an extraction's wire RC by corner/variation derates."""
 
 from __future__ import annotations
 
@@ -6,6 +6,18 @@ from dataclasses import replace
 
 from ..extract import Extraction
 from ..extract.rc import NetParasitics
+
+
+def _scale_net(p: NetParasitics, factor: float) -> NetParasitics:
+    """One net's parasitics with wire R, C and Elmore scaled."""
+    return replace(
+        p,
+        wire_cap_ff=p.wire_cap_ff * factor,
+        wire_res_kohm=p.wire_res_kohm * factor,
+        sink_elmore_ps={
+            key: value * factor for key, value in p.sink_elmore_ps.items()
+        },
+    )
 
 
 def scale_extraction(extraction: Extraction, factor: float) -> Extraction:
@@ -20,12 +32,26 @@ def scale_extraction(extraction: Extraction, factor: float) -> Extraction:
         return extraction
     scaled = Extraction()
     for name, p in extraction.nets.items():
-        scaled.nets[name] = replace(
-            p,
-            wire_cap_ff=p.wire_cap_ff * factor,
-            wire_res_kohm=p.wire_res_kohm * factor,
-            sink_elmore_ps={
-                key: value * factor for key, value in p.sink_elmore_ps.items()
-            },
-        )
+        scaled.nets[name] = _scale_net(p, factor)
+    return scaled
+
+
+def scale_extraction_sided(extraction: Extraction, front_factor: float,
+                           back_factor: float) -> Extraction:
+    """Scale wire RC with distinct frontside and backside derates.
+
+    Each net gets an effective factor interpolated by its backside
+    wirelength fraction (:attr:`NetParasitics.back_fraction`):
+    ``front + frac * (back - front)``.  A purely frontside net (every
+    CFET net) sees exactly ``front_factor``; equal factors reduce
+    bit-for-bit to :func:`scale_extraction`.  This is how overlay- and
+    per-side metal-variation perturbations reach the timing/power
+    models without re-extraction.
+    """
+    if front_factor == 1.0 and back_factor == 1.0:
+        return extraction
+    scaled = Extraction()
+    for name, p in extraction.nets.items():
+        factor = front_factor + p.back_fraction * (back_factor - front_factor)
+        scaled.nets[name] = _scale_net(p, factor) if factor != 1.0 else p
     return scaled

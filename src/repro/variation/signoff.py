@@ -1,0 +1,159 @@
+"""Statistical PPA signoff over a Monte-Carlo variation study.
+
+Where the deterministic flow signs off one number per metric, the
+variation engine signs off a *distribution*: mean/sigma/quantiles per
+metric, the 3-sigma Fmax (the frequency a 99.87 %-yielding part ships
+at), timing yield at the target period, and a 50 %-confidence
+frequency-power ellipse (the same Fig. 11 construct the DoE clouds
+use).  :func:`sigma_comparison_table` renders the FFET-vs-CFET sigma
+comparison that is the related overlay study's headline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.stats import Ellipse, SampleStats, confidence_ellipse, sample_stats
+from .engine import MonteCarloResult
+
+#: Metrics summarized per study: attribute on SampleResult -> label.
+SIGNOFF_METRICS = {
+    "achieved_frequency_ghz": "frequency_ghz",
+    "wns_ps": "wns_ps",
+    "tns_ps": "tns_ps",
+    "total_power_mw": "power_mw",
+    "overlay_shift_nm": "overlay_shift_nm",
+}
+
+
+@dataclass(frozen=True)
+class SignoffReport:
+    """The statistical signoff of one design under one variation model."""
+
+    label: str
+    arch: str
+    seed: int
+    target_period_ps: float
+    samples: int
+    failed: int
+    nominal_frequency_ghz: float
+    nominal_power_mw: float
+    #: Per-metric distribution summaries, keyed by SIGNOFF_METRICS labels.
+    metrics: dict[str, SampleStats] = field(default_factory=dict)
+    #: Fraction of *requested* samples that close timing at the target
+    #: period (a quarantined sample counts as a miss: a part whose
+    #: evaluation is broken is not a yielding part).
+    timing_yield: float = 0.0
+    #: mean - 3 sigma of the achieved-frequency distribution, GHz.
+    fmax_3sigma_ghz: float = 0.0
+    #: 50 %-confidence frequency-power ellipse (None below 3 samples).
+    ellipse: Ellipse | None = None
+
+    @property
+    def frequency_sigma_ghz(self) -> float:
+        return self.metrics["frequency_ghz"].std
+
+    @property
+    def power_sigma_mw(self) -> float:
+        return self.metrics["power_mw"].std
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering; deterministic (no wall times inside)."""
+        return {
+            "label": self.label,
+            "arch": self.arch,
+            "seed": self.seed,
+            "target_period_ps": self.target_period_ps,
+            "samples": self.samples,
+            "failed": self.failed,
+            "nominal": {
+                "frequency_ghz": self.nominal_frequency_ghz,
+                "power_mw": self.nominal_power_mw,
+            },
+            "metrics": {name: stats.to_dict()
+                        for name, stats in self.metrics.items()},
+            "timing_yield": self.timing_yield,
+            "fmax_3sigma_ghz": self.fmax_3sigma_ghz,
+            "ellipse": None if self.ellipse is None else {
+                "center_x": self.ellipse.center_x,
+                "center_y": self.ellipse.center_y,
+                "semi_major": self.ellipse.semi_major,
+                "semi_minor": self.ellipse.semi_minor,
+                "angle_rad": self.ellipse.angle_rad,
+                "confidence": self.ellipse.confidence,
+            },
+        }
+
+
+def signoff(mc: MonteCarloResult, confidence: float = 0.50) -> SignoffReport:
+    """Summarize a finished study into a :class:`SignoffReport`."""
+    if not mc.samples:
+        raise ValueError(
+            "cannot sign off a study with zero successful samples "
+            f"({len(mc.failed)} quarantined)")
+    metrics = {label: sample_stats(mc.metric(attr))
+               for attr, label in SIGNOFF_METRICS.items()}
+    met = sum(1 for s in mc.samples if s.met)
+    freqs = mc.metric("achieved_frequency_ghz")
+    powers = mc.metric("total_power_mw")
+    ellipse = confidence_ellipse(freqs, powers, confidence) \
+        if len(freqs) >= 3 else None
+    freq_stats = metrics["frequency_ghz"]
+    return SignoffReport(
+        label=mc.config.label,
+        arch=mc.config.arch,
+        seed=mc.seed,
+        target_period_ps=mc.config.target_period_ps,
+        samples=len(mc.samples),
+        failed=len(mc.failed),
+        nominal_frequency_ghz=mc.nominal.achieved_frequency_ghz,
+        nominal_power_mw=mc.nominal.total_power_mw,
+        metrics=metrics,
+        timing_yield=met / mc.requested if mc.requested else 0.0,
+        fmax_3sigma_ghz=freq_stats.mean_minus_sigmas(3.0),
+        ellipse=ellipse,
+    )
+
+
+def format_signoff(report: SignoffReport) -> str:
+    """Human-readable signoff table for one study."""
+    lines = [
+        f"variation signoff: {report.label} "
+        f"(seed={report.seed}, {report.samples} samples"
+        + (f", {report.failed} quarantined" if report.failed else "") + ")",
+        f"  nominal: f={report.nominal_frequency_ghz:.3f} GHz  "
+        f"P={report.nominal_power_mw:.3f} mW",
+        f"  {'metric':<18}{'mean':>10}{'sigma':>10}"
+        f"{'q05':>10}{'q95':>10}",
+    ]
+    for name, stats in report.metrics.items():
+        lines.append(
+            f"  {name:<18}{stats.mean:>10.4f}{stats.std:>10.4f}"
+            f"{stats.quantile(0.05):>10.4f}{stats.quantile(0.95):>10.4f}")
+    lines.append(
+        f"  3-sigma Fmax: {report.fmax_3sigma_ghz:.3f} GHz   "
+        f"timing yield @ {1000.0 / report.target_period_ps:.2f} GHz: "
+        f"{report.timing_yield:.1%}")
+    if report.ellipse is not None:
+        lines.append(
+            f"  f-P {report.ellipse.confidence:.0%} ellipse: "
+            f"center=({report.ellipse.center_x:.3f} GHz, "
+            f"{report.ellipse.center_y:.3f} mW) "
+            f"axes=({report.ellipse.semi_major:.4f}, "
+            f"{report.ellipse.semi_minor:.4f})")
+    return "\n".join(lines)
+
+
+def sigma_comparison_table(reports: list[SignoffReport],
+                           metric: str = "frequency_ghz") -> str:
+    """Side-by-side sigma comparison (the FFET-vs-CFET headline)."""
+    header = (f"{'config':<28}{'mean':>10}{'sigma':>10}{'sigma/mean':>12}"
+              f"{'yield':>8}")
+    lines = [f"variation comparison: {metric}", header, "-" * len(header)]
+    for report in reports:
+        stats = report.metrics[metric]
+        rel = stats.std / abs(stats.mean) if stats.mean else 0.0
+        lines.append(
+            f"{report.label:<28}{stats.mean:>10.4f}{stats.std:>10.4f}"
+            f"{rel:>11.2%}{report.timing_yield:>8.1%}")
+    return "\n".join(lines)

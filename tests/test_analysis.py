@@ -5,7 +5,8 @@ import math
 import numpy as np
 import pytest
 
-from repro.analysis import confidence_ellipse, pareto_front, relative_diff
+from repro.analysis import (confidence_ellipse, pareto_front,
+                            quantile, relative_diff, sample_stats)
 
 
 class TestConfidenceEllipse:
@@ -69,3 +70,69 @@ class TestParetoAndDiff:
 
     def test_pareto_single_point(self):
         assert pareto_front([(1.0, 1.0)]) == [(1.0, 1.0)]
+
+
+class TestEllipseDegenerateInputs:
+    def test_too_few_points_message_names_the_size(self):
+        with pytest.raises(ValueError, match="3"):
+            confidence_ellipse([1.0, 2.0], [1.0, 2.0])
+
+    def test_mismatched_shapes_get_their_own_error(self):
+        with pytest.raises(ValueError, match="paired"):
+            confidence_ellipse([1.0, 2.0, 3.0], [1.0, 2.0])
+
+    def test_identical_cloud_yields_exact_zero_ellipse(self):
+        e = confidence_ellipse([2.0] * 5, [7.0] * 5)
+        assert e.center_x == 2.0 and e.center_y == 7.0
+        assert e.semi_major == 0.0 and e.semi_minor == 0.0
+        assert e.angle_rad == 0.0
+        assert e.area == 0.0
+
+    def test_zero_ellipse_contains_only_its_center(self):
+        e = confidence_ellipse([2.0] * 5, [7.0] * 5)
+        assert e.contains(2.0, 7.0)
+        assert not e.contains(2.0 + 1e-12, 7.0)
+        assert not e.contains(2.0, 7.0 - 1e-12)
+
+    def test_collinear_cloud_still_produces_an_ellipse(self):
+        # Degenerate in one axis only: must not raise.
+        e = confidence_ellipse([1.0, 2.0, 3.0, 4.0], [5.0] * 4)
+        assert e.semi_major > 0.0
+        assert e.semi_minor == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSampleStats:
+    def test_basic_moments(self):
+        s = sample_stats([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_single_sample_has_zero_std(self):
+        s = sample_stats([5.0])
+        assert s.n == 1 and s.std == 0.0
+        assert s.mean == s.minimum == s.maximum == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sample_stats([])
+
+    def test_quantiles_interpolate_like_numpy(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3]
+        for q in (0.01, 0.05, 0.50, 0.95, 0.99):
+            assert quantile(sorted(values), q) == pytest.approx(
+                np.quantile(values, q))
+
+    def test_mean_minus_sigmas(self):
+        s = sample_stats([1.0, 2.0, 3.0, 4.0])
+        assert s.mean_minus_sigmas(3.0) == pytest.approx(s.mean - 3 * s.std)
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        payload = sample_stats([1.0, 2.0, 3.0]).to_dict()
+        round_trip = json.loads(json.dumps(payload))
+        assert round_trip["n"] == 3
+        assert "0.5" in round_trip["quantiles"]

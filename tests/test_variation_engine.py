@@ -1,0 +1,186 @@
+"""Monte-Carlo engine: determinism, caching, quarantine, signoff, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import FlowCache, FlowConfig, Tracer
+from repro.synth import generate_counter
+from repro.variation import (
+    FailedSample,
+    SampleResult,
+    VariationModel,
+    format_signoff,
+    nominal_bundle,
+    run_monte_carlo,
+    run_samples,
+    sigma_comparison_table,
+    signoff,
+)
+from repro.variation.engine import NOMINAL_BLOB_KIND, _chunk_indices
+
+
+def counter_factory():
+    return generate_counter(8)
+
+
+CONFIG = FlowConfig(utilization=0.5)
+MODEL = VariationModel.for_arch("ffet", overlay_sigma_nm=2.0)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return nominal_bundle(counter_factory, CONFIG)
+
+
+class TestEngine:
+    def test_jobs_do_not_change_results(self, bundle):
+        serial, _ = run_samples(bundle, CONFIG, MODEL, 8, seed=11, jobs=1)
+        pooled, _ = run_samples(bundle, CONFIG, MODEL, 8, seed=11, jobs=4)
+        assert serial == pooled
+
+    def test_samples_are_index_ordered_and_seeded(self, bundle):
+        good, bad = run_samples(bundle, CONFIG, MODEL, 6, seed=5, jobs=1)
+        assert not bad
+        assert [s.index for s in good] == list(range(6))
+        assert len({s.seed for s in good}) == 6
+
+    def test_zero_samples_is_empty_not_an_error(self, bundle):
+        good, bad = run_samples(bundle, CONFIG, MODEL, 0, seed=0)
+        assert good == [] and bad == []
+        with pytest.raises(ValueError):
+            run_samples(bundle, CONFIG, MODEL, -1, seed=0)
+
+    def test_zero_sigma_reproduces_the_nominal_point(self, bundle):
+        nothing = VariationModel.for_arch("ffet", overlay_sigma_nm=0.0,
+                                          cd_sigma=0.0, rc_sigma=0.0)
+        good, _ = run_samples(bundle, CONFIG, nothing, 3, seed=0)
+        for sample in good:
+            assert sample.achieved_frequency_ghz == pytest.approx(
+                bundle.result.achieved_frequency_ghz)
+            assert sample.total_power_mw == pytest.approx(
+                bundle.result.total_power_mw)
+
+    def test_failed_sample_is_quarantined_not_fatal(self, bundle,
+                                                    monkeypatch):
+        import repro.variation.engine as engine_mod
+
+        real = engine_mod.evaluate_sample
+
+        def flaky(netlist, library, extraction, config, sample):
+            if sample.index == 1:
+                raise RuntimeError("injected sample failure")
+            return real(netlist, library, extraction, config, sample)
+
+        monkeypatch.setattr(engine_mod, "evaluate_sample", flaky)
+        good, bad = run_samples(bundle, CONFIG, MODEL, 4, seed=2, jobs=1)
+        assert [s.index for s in good] == [0, 2, 3]
+        assert len(bad) == 1 and isinstance(bad[0], FailedSample)
+        assert bad[0].index == 1
+        assert bad[0].cause == "RuntimeError"
+
+    def test_chunking_covers_every_index_once(self):
+        for n in (1, 7, 16, 33):
+            for chunks in (1, 3, 16, 50):
+                ranges = _chunk_indices(n, chunks)
+                flat = [i for r in ranges for i in r]
+                assert flat == list(range(n))
+
+    def test_nominal_bundle_round_trips_the_cache(self, tmp_path):
+        cache = FlowCache(tmp_path / "cache")
+        cold = nominal_bundle(counter_factory, CONFIG, cache=cache)
+        assert not cold.cached
+        warm = nominal_bundle(counter_factory, CONFIG, cache=cache)
+        assert warm.cached
+        assert warm.result == cold.result
+        # And the blob is invalidated with everything else on clear().
+        assert cache.clear() > 0
+        assert cache.get_blob(cache.key_for(
+            CONFIG, "whatever"), NOMINAL_BLOB_KIND) is None
+
+    def test_run_monte_carlo_traces_and_counts(self):
+        tracer = Tracer(label="mc test")
+        mc = run_monte_carlo(counter_factory, CONFIG, model=MODEL,
+                             samples=4, seed=1, jobs=1, tracer=tracer)
+        assert len(mc.samples) == 4
+        assert mc.seed == 1
+        trace = tracer.finish()
+        names = [s.name for s in trace.spans]
+        assert "mc.nominal" in names
+        assert "mc.samples" in names
+        assert trace.counters["mc.samples"] == 4
+
+    def test_default_seed_is_the_config_seed(self):
+        mc = run_monte_carlo(counter_factory, CONFIG.with_(seed=9),
+                             model=MODEL, samples=2, jobs=1)
+        assert mc.seed == 9
+
+
+class TestSignoff:
+    @pytest.fixture(scope="class")
+    def mc(self, bundle):
+        good, bad = run_samples(bundle, CONFIG, MODEL, 12, seed=4, jobs=1)
+        from repro.variation.engine import MonteCarloResult
+        return MonteCarloResult(config=CONFIG, model=MODEL, seed=4,
+                                nominal=bundle.result, samples=good,
+                                failed=bad)
+
+    def test_report_fields(self, mc):
+        report = signoff(mc)
+        assert report.samples == 12
+        assert report.metrics["frequency_ghz"].n == 12
+        assert report.fmax_3sigma_ghz == pytest.approx(
+            report.metrics["frequency_ghz"].mean
+            - 3 * report.metrics["frequency_ghz"].std)
+        assert 0.0 <= report.timing_yield <= 1.0
+        assert report.ellipse is not None
+
+    def test_report_is_json_safe_and_deterministic(self, mc):
+        a = json.dumps(signoff(mc).to_dict(), sort_keys=True)
+        b = json.dumps(signoff(mc).to_dict(), sort_keys=True)
+        assert a == b
+
+    def test_formatting_smoke(self, mc):
+        report = signoff(mc)
+        text = format_signoff(report)
+        assert "3-sigma Fmax" in text
+        assert "frequency_ghz" in text
+        table = sigma_comparison_table([report, report])
+        assert table.count(report.label) == 2
+
+    def test_empty_study_refuses_signoff(self, mc):
+        from repro.variation.engine import MonteCarloResult
+        empty = MonteCarloResult(config=CONFIG, model=MODEL, seed=0,
+                                 nominal=mc.nominal)
+        with pytest.raises(ValueError):
+            signoff(empty)
+
+
+class TestCliMc:
+    SMALL = ["mc", "--xlen", "4", "--nregs", "4", "--utilization", "0.5",
+             "--samples", "4", "--seed", "3"]
+
+    @pytest.fixture(autouse=True)
+    def _cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_mc_command_writes_deterministic_json(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*self.SMALL, "--jobs", "1", "--json", str(a)]) == 0
+        assert main([*self.SMALL, "--jobs", "2", "--json", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+        payload = json.loads(a.read_text())
+        assert payload["samples"] == 4
+        assert len(payload["sample_rows"]) == 4
+        out = capsys.readouterr().out
+        assert "variation signoff" in out
+        assert "nominal flow served from the cache" in out  # second run
+
+    def test_mc_trace_written(self, capsys, tmp_path):
+        trace_dir = tmp_path / "traces"
+        assert main([*self.SMALL, "--no-cache",
+                     "--trace", str(trace_dir)]) == 0
+        assert list(trace_dir.glob("*.jsonl"))
