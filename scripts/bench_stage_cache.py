@@ -1,0 +1,124 @@
+"""Benchmark the per-stage artifact store on a Table III layer-split DoE.
+
+The stage graph's claim (docs/architecture.md): the routing-layer
+split first enters the stage key chain at ``routing``, so a layer-split
+enumeration shares the whole library..legalization prefix — it places
+once and routes N times.  This script measures that end to end:
+
+1. **store off** — every split runs the full flow from scratch
+   (the pre-stage-graph behavior);
+2. **store on, warm prefix** — the first split has seeded the store,
+   the remaining splits replay the shared prefix and execute only
+   routing..power.
+
+The warm-prefix pass must be >= 2x faster, with bit-identical results.
+
+Writes a report to stdout and ``results/bench_stage_cache.txt``::
+
+    PYTHONPATH=src python scripts/bench_stage_cache.py
+"""
+
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import FlowCache, FlowConfig, SweepRunner
+from repro.core.cache import result_to_payload
+from repro.core.flow import run_flow
+from repro.core.stages import StageStore
+from repro.core.sweeps import layer_split_sweep
+from repro.synth import RiscvConfig, generate_riscv_core
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The Table III routing-layer-split space at a fixed total of 12.
+SPLITS = ((9, 3), (8, 4), (7, 5), (6, 6), (5, 7), (4, 8))
+
+
+class Rv16Factory:
+    """Picklable factory for the scaled-down (xlen=16) RISC-V core."""
+
+    def __call__(self):
+        return generate_riscv_core(RiscvConfig(xlen=16, nregs=16,
+                                               name="rv16"))
+
+
+def run_sweep(runner) -> tuple[list, float]:
+    t0 = time.perf_counter()
+    points = layer_split_sweep(Rv16Factory(), FlowConfig(), SPLITS,
+                               runner=runner)
+    return points, time.perf_counter() - t0
+
+
+def main() -> int:
+    lines = [
+        "stage-store benchmark: Table III layer-split DoE "
+        f"({len(SPLITS)} splits, rv16, jobs=1)",
+        f"host: {platform.platform()}, python {platform.python_version()}",
+        "",
+    ]
+
+    off, off_s = run_sweep(SweepRunner(jobs=1))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = FlowCache(tmp)
+        # Seed only the shared prefix: one partial walk through
+        # legalization, exactly what `repro run --stop-after` does.
+        t0 = time.perf_counter()
+        run_flow(Rv16Factory(), FlowConfig(), store=StageStore(cache),
+                 stop_after="legalization")
+        seed_s = time.perf_counter() - t0
+        prefix_runner = SweepRunner(jobs=1, cache=cache)
+        prefix, prefix_s = run_sweep(prefix_runner)
+        # Fully warm: re-walk every split against the seeded store,
+        # skipping the full-result cache (CLI --refresh).
+        warm_runner = SweepRunner(jobs=1, cache=cache, refresh=True)
+        warm, warm_s = run_sweep(warm_runner)
+
+    for cold_p, a, b in zip(off, prefix, warm):
+        assert (result_to_payload(cold_p.result)
+                == result_to_payload(a.result)
+                == result_to_payload(b.result)), \
+            "stage store changed a result"
+
+    def walks(runner):
+        s = runner.stats
+        return f"{s.stage_hits} stage replays / " \
+               f"{s.stage_hits + s.stage_misses} stage walks"
+
+    lines.append("[1] store off (every split runs the full flow)")
+    lines.append(f"    wall: {off_s:8.2f} s")
+    lines.append("[2] store on, warm prefix (library..legalization seeded "
+                 "by one partial walk;")
+    lines.append("    every split replays the prefix and executes only "
+                 "routing..power)")
+    lines.append(f"    seed: {seed_s:8.2f} s   (one run --stop-after "
+                 "legalization)")
+    lines.append(f"    wall: {prefix_s:8.2f} s   ({walks(prefix_runner)})")
+    lines.append("[3] store on, fully warm (re-walk of an already-swept "
+                 "store, full-result cache skipped)")
+    lines.append(f"    wall: {warm_s:8.2f} s   ({walks(warm_runner)})")
+    speedup = off_s / prefix_s
+    warm_speedup = off_s / warm_s
+    lines.append("")
+    lines.append(f"    warm-prefix speedup over store-off: {speedup:.2f}x "
+                 f"({'PASS' if speedup >= 2 else 'FAIL'}: >= 2x required), "
+                 "results bit-identical")
+    lines.append(f"    fully-warm speedup over store-off:  "
+                 f"{warm_speedup:.2f}x")
+    rates = warm_runner.stats.stage_hit_rates()
+    lines.append("    stages replayed on every warm split: "
+                 + ", ".join(sorted(s for s, r in rates.items() if r == 1.0)))
+
+    report = "\n".join(lines) + "\n"
+    print(report, end="")
+    out = REPO / "results" / "bench_stage_cache.txt"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(report)
+    print(f"\nwrote {out}")
+    return 0 if speedup >= 2 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

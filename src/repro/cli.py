@@ -38,14 +38,15 @@ import sys
 
 from . import build_library, make_cfet_node, make_ffet_node
 from .cells import format_kpi_table, library_kpi_diff, write_liberty
-from .core import (FlowCache, FlowConfig, PPAResult, RetryPolicy,
-                   SweepRunner)
+from .core import (FLOW_STAGES, FlowCache, FlowConfig, PPAResult,
+                   RetryPolicy, SweepRunner)
 from .core import faults as faults_mod
 from .core import guard as guard_mod
 from .core.doe import cooptimization_table, pin_density_doe
 from .core.errors import FlowError
 from .core.io import results_to_csv, results_to_json
-from .core.sweeps import frequency_sweep, utilization_sweep
+from .core.sweeps import (frequency_sweep, layer_split_sweep,
+                          utilization_sweep)
 from .synth import RiscvConfig, generate_riscv_core
 
 
@@ -80,6 +81,10 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                              "or 1; 0 = one per core)")
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every run, bypassing the result cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="re-run every point instead of serving stored "
+                             "results, but keep the per-stage artifact store "
+                             "warm (replays unchanged flow prefixes)")
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -138,7 +143,8 @@ def _runner_from(args) -> SweepRunner:
                        trace_dir=getattr(args, "trace", None),
                        retry=retry,
                        checkpoint=getattr(args, "checkpoint", None),
-                       resume=not getattr(args, "no_resume", False))
+                       resume=not getattr(args, "no_resume", False),
+                       refresh=getattr(args, "refresh", False))
 
 
 def _exit_code(args, runner: SweepRunner) -> int:
@@ -170,6 +176,18 @@ def _config_from(args) -> FlowConfig:
         target_frequency_ghz=args.frequency,
         seed=args.seed,
     )
+
+
+def _parse_split(text: str) -> tuple[int, int]:
+    """Parse one ``FRONT:BACK`` routing-layer split, e.g. ``8:4``."""
+    front, sep, back = text.partition(":")
+    try:
+        if not sep:
+            raise ValueError(text)
+        return int(front), int(back)
+    except ValueError:
+        raise ValueError(
+            f"invalid layer split {text!r} (expected FRONT:BACK, e.g. 8:4)")
 
 
 class RiscvFactory:
@@ -212,6 +230,8 @@ def cmd_characterize(args) -> int:
 
 
 def cmd_run(args) -> int:
+    if getattr(args, "stop_after", None):
+        return _run_partial(args)
     runner = _runner_from(args)
     run = runner.run_one(_factory_from(args), _config_from(args))
     print(run.summary())
@@ -222,6 +242,53 @@ def cmd_run(args) -> int:
     return 0 if getattr(args, "keep_going", False) else 1
 
 
+def _run_partial(args) -> int:
+    """``repro run --stop-after STAGE``: a partial stage-graph walk."""
+    from .core import StageStore, Tracer
+    from .core.flow import run_flow
+    config = _config_from(args)
+    cache = None if args.no_cache else FlowCache(args.cache_dir)
+    store = StageStore(cache) if cache is not None else None
+    tracer = Tracer(label=config.label) if args.trace else None
+    artifacts = run_flow(_factory_from(args), config,
+                         return_artifacts=True, tracer=tracer,
+                         store=store, stop_after=args.stop_after)
+    for name, how in artifacts.stage_status.items():
+        print(f"{name:<14} {'replayed from stage store' if how == 'cached' else 'ran'}")
+    if artifacts.result is not None:
+        print(artifacts.result.summary())
+    if args.trace:
+        path = artifacts.trace.write(os.path.join(args.trace, "run-0000.jsonl"))
+        print(f"trace written to {path}")
+    return 0
+
+
+def cmd_stages(args) -> int:
+    """``repro stages``: dump the flow's stage graph."""
+    from .core.flow import FLOW_GRAPH
+    rows = [{
+        "name": stage.name,
+        "upstream": list(stage.upstream),
+        "config_fields": sorted(stage.config_fields),
+        "transitive_fields": sorted(FLOW_GRAPH.transitive_fields(stage.name)),
+        "uses_netlist": stage.uses_netlist,
+    } for stage in FLOW_GRAPH]
+    if getattr(args, "json", False):
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(f"{'stage':<14} {'upstream':<14} config fields (own)")
+    for row in rows:
+        upstream = ", ".join(row["upstream"]) or "-"
+        own = ", ".join(row["config_fields"]) or "-"
+        if row["uses_netlist"]:
+            own = (own + " + netlist") if own != "-" else "netlist"
+        print(f"{row['name']:<14} {upstream:<14} {own}")
+    print("\nA stage's key covers its own fields plus every upstream "
+          "stage's key (transitive);\nsee docs/architecture.md for the "
+          "invalidation rules.")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     factory = _factory_from(args)
     config = _config_from(args)
@@ -229,6 +296,12 @@ def cmd_sweep(args) -> int:
     if args.axis == "utilization":
         points = args.points or [0.5, 0.6, 0.7, 0.76, 0.8, 0.86]
         runs = utilization_sweep(factory, config, points, runner=runner)
+    elif args.axis == "layers":
+        splits = [_parse_split(s) for s in
+                  (args.splits or ["9:3", "8:4", "7:5", "6:6"])]
+        sweep_points = layer_split_sweep(factory, config, splits,
+                                         runner=runner)
+        runs = [p.result for p in sweep_points]
     else:
         targets = args.targets or [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
         runs = frequency_sweep(factory, config, targets, runner=runner)
@@ -439,14 +512,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_args(p)
     _add_output_args(p)
     _add_runner_args(p)
+    p.add_argument("--stop-after", metavar="STAGE", default=None,
+                   choices=FLOW_STAGES,
+                   help="walk the stage graph only through STAGE "
+                        "(see `repro stages` for names)")
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("sweep", help="utilization or frequency sweep")
-    p.add_argument("axis", choices=("utilization", "frequency"))
+    p = sub.add_parser("stages",
+                       help="dump the flow's stage graph and config slices")
+    p.add_argument("--json", action="store_true",
+                   help="print the graph as JSON")
+    p.set_defaults(func=cmd_stages)
+
+    p = sub.add_parser("sweep", help="utilization, frequency or "
+                                     "routing-layer-split sweep")
+    p.add_argument("axis", choices=("utilization", "frequency", "layers"))
     p.add_argument("--points", type=float, nargs="+",
                    help="utilization points")
     p.add_argument("--targets", type=float, nargs="+",
                    help="frequency targets, GHz")
+    p.add_argument("--splits", nargs="+", metavar="FRONT:BACK",
+                   help="routing-layer splits for the layers axis "
+                        "(default: 9:3 8:4 7:5 6:6)")
     _add_core_args(p)
     _add_config_args(p)
     _add_output_args(p)

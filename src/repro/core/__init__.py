@@ -27,10 +27,16 @@ _LAZY = {
     "RunTimeout": ".errors",
     "TransientError": ".errors",
     "FaultPlan": ".faults",
+    "FLOW_GRAPH": ".flow",
     "FLOW_STAGES": ".flow",
     "FlowArtifacts": ".flow",
     "prepare_library": ".flow",
     "run_flow": ".flow",
+    "stage_keys": ".flow",
+    "Stage": ".stages",
+    "StageGraph": ".stages",
+    "StageStore": ".stages",
+    "stage_key": ".stages",
     "FlowGuard": ".guard",
     "result_to_dict": ".io",
     "results_to_csv": ".io",

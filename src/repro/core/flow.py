@@ -4,6 +4,20 @@ Stages: library preparation (input-pin redistribution) -> synthesis
 sizing -> floorplan -> powerplan (BSPDN + Power Tap Cells) -> placement
 -> CTS -> dual-sided routing (Algorithm 1) -> two DEFs -> DEF merge ->
 dual-sided RC extraction -> STA + power -> :class:`PPAResult`.
+
+The pipeline is expressed as a declarative stage graph
+(:data:`FLOW_GRAPH`, built on :mod:`repro.core.stages`): every stage
+declares the config fields it reads and the stages it consumes, and
+:func:`run_flow` is a walk over that graph.  With a
+:class:`~repro.core.stages.StageStore` attached, stages whose
+content-addressed key is already stored are *replayed* from their
+artifact instead of re-executed — so a layer-split sweep places once
+and routes N times, because ``front_layers``/``back_layers`` first
+enter the key chain at the ``routing`` stage.  Replayed stages keep
+every contract of executed ones: the same top-level span (with a
+zero-cost ``cache_hit`` marker inside), guard checks re-validated on
+the loaded artifact, and result gauges re-emitted.  See
+docs/architecture.md for the graph, slices and invalidation rules.
 """
 
 from __future__ import annotations
@@ -23,13 +37,14 @@ from ..pnr import (
     PlacementError,
     achieved_utilization,
     assign_layers,
+    bind_power_layers,
     build_grid,
     decompose_nets,
     legalize,
     pin_count_map,
     place,
     plan_floor,
-    plan_power,
+    plan_power_layout,
     refine_placement,
     synthesize_clock_tree,
 )
@@ -38,11 +53,14 @@ from ..sta import analyze_timing
 from ..synth import size_for_target
 from ..tech import Side
 from . import faults as faults_mod
+from . import stages as stages_mod
 from . import telemetry
+from .cache import netlist_fingerprint
 from .config import FlowConfig
 from .errors import FatalError, wrap_stage_error
 from .guard import NULL_GUARD, FlowGuard
 from .ppa import PPAResult
+from .stages import Stage, StageGraph, StageStore
 
 #: The flow's top-level stages (the paper's Fig. 7 pipeline), in
 #: execution order.  Every run emits exactly these depth-0 spans, so
@@ -66,43 +84,45 @@ FLOW_STAGES = (
 
 @dataclass
 class FlowArtifacts:
-    """Everything a run produced, for inspection and DEF export."""
+    """Everything a run produced, for inspection and DEF export.
 
-    library: Library
-    netlist: Netlist
-    die: object
-    powerplan: object
-    placement: object
-    cts_report: object
-    routing_results: dict
-    defs: dict[Side, DefDesign]
-    merged_def: DefDesign
-    extraction: object
-    result: PPAResult
+    A partial walk (``run_flow(..., stop_after=...)``) leaves the
+    fields of un-walked stages ``None`` and ``result`` unset unless the
+    walk reached the final stage.
+    """
+
+    library: Library | None = None
+    netlist: Netlist | None = None
+    die: object = None
+    powerplan: object = None
+    placement: object = None
+    cts_report: object = None
+    routing_results: dict | None = None
+    defs: dict[Side, DefDesign] | None = None
+    merged_def: DefDesign | None = None
+    extraction: object = None
+    result: PPAResult | None = None
     #: Telemetry of this run (empty when tracing was off).
     trace: telemetry.Trace = field(default_factory=telemetry.Trace)
-
-
-#: Characterized masters keyed by (arch, backside fraction, seed).
-#: Characterization does not depend on the routing-layer configuration,
-#: so sweeps over layer counts can share one library build.
-_MASTER_CACHE: dict[tuple, dict] = {}
+    #: Per-stage outcome of the walk: ``"ran"`` (executed) or
+    #: ``"cached"`` (replayed from the stage store), in stage order.
+    stage_status: dict[str, str] = field(default_factory=dict)
 
 
 def prepare_library(config: FlowConfig) -> Library:
-    """Build + pin-redistribute the library for one configuration."""
+    """Build + pin-redistribute the library for one configuration.
+
+    Characterization does not depend on the routing-layer split, so the
+    ``library`` stage's store entry (its masters) is shared across
+    layer sweeps; there is no longer any in-process master cache.
+    """
     tech = config.make_tech()
-    key = (config.arch, round(config.backside_pin_fraction, 6), config.seed)
-    masters = _MASTER_CACHE.get(key)
-    if masters is None:
-        library = build_library(tech)
-        if config.arch == "ffet" and config.backside_pin_fraction > 0:
-            library = redistribute_input_pins(
-                library, config.backside_pin_fraction, seed=config.seed
-            )
-        _MASTER_CACHE[key] = library.masters
-        masters = library.masters
-    return Library(tech=tech, masters=dict(masters))
+    library = build_library(tech)
+    if config.arch == "ffet" and config.backside_pin_fraction > 0:
+        library = redistribute_input_pins(
+            library, config.backside_pin_fraction, seed=config.seed
+        )
+    return library
 
 
 #: Stages whose output the fault-injection ``corrupt`` mode can damage
@@ -165,12 +185,387 @@ def _corrupting(plan: "faults_mod.FaultPlan", stage: str,
     return clause is not None and clause.mode == "corrupt"
 
 
+class _FlowState:
+    """Mutable state threaded through one graph walk."""
+
+    def __init__(self, config: FlowConfig, tr, guard, plan,
+                 netlist_factory, preset_library: Library | None) -> None:
+        self.config = config
+        self.tr = tr
+        self.guard = guard
+        self.plan = plan
+        self.netlist_factory = netlist_factory
+        self.preset_library = preset_library
+        #: Netlist instance already built for fingerprinting (reused by
+        #: the netlist stage so the factory runs once per walk).
+        self.base_netlist: Netlist | None = None
+        self.library: Library | None = None
+        self.tech = None
+        self.netlist: Netlist | None = None
+        self.die = None
+        self.powerplan = None
+        self.util: float | None = None
+        self.placement = None
+        self.cts_report = None
+        self.routing_results: dict | None = None
+        self.decomposition = None
+        self.defs: dict | None = None
+        self.merged = None
+        self.extraction = None
+        self.timing = None
+        self.achieved_ghz: float | None = None
+        self.power = None
+
+
+# -- stage bodies -----------------------------------------------------------
+# Each stage has an ``execute`` (the real work; returns the picklable
+# artifact to store) and a ``restore`` (rebuild the walk state from a
+# stored artifact, re-running guard checks and re-emitting gauges).
+
+def _exec_library(s: _FlowState) -> dict | None:
+    if s.preset_library is not None:
+        s.library = s.preset_library
+        s.tech = s.library.tech
+        return None
+    library = prepare_library(s.config)
+    s.library = library
+    s.tech = library.tech
+    return {"masters": library.masters}
+
+
+def _restore_library(s: _FlowState, art: dict) -> None:
+    tech = s.config.make_tech()
+    s.library = Library(tech=tech, masters=dict(art["masters"]))
+    s.tech = tech
+
+
+def _exec_netlist(s: _FlowState) -> dict:
+    netlist = (s.base_netlist if s.base_netlist is not None
+               else s.netlist_factory())
+    netlist.bind(s.library)
+    s.netlist = netlist
+    s.tr.gauge("netlist.instances", len(netlist.instances))
+    s.tr.gauge("netlist.nets", len(netlist.nets))
+    return {"netlist": netlist}
+
+
+def _restore_netlist(s: _FlowState, art: dict) -> None:
+    s.netlist = art["netlist"]
+    s.tr.gauge("netlist.instances", len(s.netlist.instances))
+    s.tr.gauge("netlist.nets", len(s.netlist.nets))
+
+
+def _exec_sizing(s: _FlowState) -> dict:
+    # Synthesis-style timing optimization against the target period.
+    size_for_target(
+        s.netlist, s.library, s.config.target_period_ps,
+        clock=s.config.clock,
+        max_iterations=s.config.sizing_iterations,
+        max_fanout=s.config.max_fanout,
+    )
+    return {"netlist": s.netlist}
+
+
+def _restore_sizing(s: _FlowState, art: dict) -> None:
+    s.netlist = art["netlist"]
+
+
+def _exec_floorplan(s: _FlowState) -> dict:
+    s.die = plan_floor(s.netlist, s.library,
+                       FloorplanSpec(s.config.utilization,
+                                     s.config.aspect_ratio))
+    return {"die": s.die}
+
+
+def _restore_floorplan(s: _FlowState, art: dict) -> None:
+    s.die = art["die"]
+
+
+def _exec_powerplan(s: _FlowState) -> dict:
+    # The stripe/tap layout is layer-split-invariant and is what gets
+    # stored; the layer binding is recomputed on every walk so the
+    # artifact can be shared across routing-layer configurations.
+    layout = plan_power_layout(s.tech, s.die,
+                               s.config.power_stripe_pitch_cpp)
+    s.powerplan = bind_power_layers(layout, s.tech)
+    util = achieved_utilization(s.netlist, s.library, s.die)
+    if util > s.powerplan.max_legal_utilization:
+        raise PlacementError(
+            f"utilization {util:.2f} exceeds the Power-Tap-Cell limit "
+            f"{s.powerplan.max_legal_utilization:.2f}"
+        )
+    s.util = util
+    return {"layout": layout, "util": util}
+
+
+def _restore_powerplan(s: _FlowState, art: dict) -> None:
+    s.powerplan = bind_power_layers(art["layout"], s.tech)
+    s.util = art["util"]
+
+
+def _exec_placement(s: _FlowState) -> dict:
+    s.placement = place(s.netlist, s.library, s.die, s.powerplan,
+                        seed=s.config.seed)
+    if _corrupting(s.plan, "placement", s.config) and s.placement.locations:
+        del s.placement.locations[next(iter(s.placement.locations))]
+    s.guard.check_placement(s.netlist, s.die, s.placement)
+    return {"placement": s.placement}
+
+
+def _restore_placement(s: _FlowState, art: dict) -> None:
+    s.placement = art["placement"]
+    s.guard.check_placement(s.netlist, s.die, s.placement)
+
+
+def _exec_cts(s: _FlowState) -> dict:
+    s.cts_report = synthesize_clock_tree(s.netlist, s.library, s.placement,
+                                         clock_net=s.config.clock)
+    # CTS rewires the clock net and moves buffers: snapshot both the
+    # netlist and the placement it mutated, in one blob so shared
+    # references stay consistent on restore.
+    return {"netlist": s.netlist, "placement": s.placement,
+            "cts_report": s.cts_report}
+
+
+def _restore_cts(s: _FlowState, art: dict) -> None:
+    s.netlist = art["netlist"]
+    s.placement = art["placement"]
+    s.cts_report = art["cts_report"]
+
+
+def _exec_legalization(s: _FlowState) -> dict:
+    s.placement = legalize(s.placement, s.netlist, s.library, s.powerplan)
+    if s.config.refine_placement:
+        with s.tr.span("refine"):
+            refine_placement(s.netlist, s.library, s.placement, s.powerplan,
+                             iterations=s.config.refine_iterations,
+                             seed=s.config.seed)
+    s.guard.check_placement(s.netlist, s.die, s.placement)
+    return {"placement": s.placement}
+
+
+def _restore_legalization(s: _FlowState, art: dict) -> None:
+    s.placement = art["placement"]
+    s.guard.check_placement(s.netlist, s.die, s.placement)
+
+
+def _exec_routing(s: _FlowState) -> dict:
+    config, tr, netlist, library = s.config, s.tr, s.netlist, s.library
+    placement, die, powerplan, tech = s.placement, s.die, s.powerplan, s.tech
+    # Per-side pin density maps and routing grids.
+    sides = [Side.FRONT] + ([Side.BACK]
+                            if tech.uses_backside_signals else [])
+    grids = {}
+    with tr.span("grids"):
+        for side in sides:
+            pin_xy = []
+            for inst_name, inst in netlist.instances.items():
+                master = library[inst.master]
+                p = placement.locations[inst_name]
+                for pin in master.pins.values():
+                    if pin.on_side(side):
+                        pin_xy.append((p.x_nm, p.y_nm))
+            counts = pin_count_map(pin_xy, die, config.gcell_tracks,
+                                   tech.rules.track_pitch_nm)
+            grids[side] = build_grid(tech, die, side, powerplan,
+                                     pin_counts=counts,
+                                     gcell_tracks=config.gcell_tracks)
+
+    # Algorithm 1: decompose and route each side independently.
+    with tr.span("decompose"):
+        decomposition = decompose_nets(
+            netlist, library, placement, grids,
+            allow_bridging=config.allow_bridging)
+        if _corrupting(s.plan, "routing", config):
+            _corrupt_decomposition(decomposition)
+        s.guard.check_decomposition(netlist, decomposition)
+    routing_results = {}
+    for side in sides:
+        with tr.span(f"route.{side.value}"):
+            router = GlobalRouter(grids[side],
+                                  rrr_iterations=config.rrr_iterations)
+            routing_results[side] = router.route_all(
+                decomposition.specs[side])
+    s.routing_results = routing_results
+    s.decomposition = decomposition
+    # Bridging (Algorithm 1 fallback) inserts buffers into the netlist
+    # and the placement, so both post-routing snapshots ride along.
+    return {"routing_results": routing_results,
+            "decomposition": decomposition,
+            "netlist": netlist, "placement": placement}
+
+
+def _restore_routing(s: _FlowState, art: dict) -> None:
+    s.routing_results = art["routing_results"]
+    s.decomposition = art["decomposition"]
+    s.netlist = art["netlist"]
+    s.placement = art["placement"]
+    s.guard.check_decomposition(s.netlist, s.decomposition)
+
+
+def _exec_def_merge(s: _FlowState) -> dict:
+    config, tr, netlist = s.config, s.tr, s.netlist
+    sides = list(s.routing_results)
+    # Two DEFs, merged for dual-sided extraction (Section III.C).
+    defs = {}
+    for side in sides:
+        with tr.span(f"def_export.{side.value}"):
+            assignment = assign_layers(s.routing_results[side])
+            defs[side] = def_from_routing(
+                netlist, s.placement, s.die, s.routing_results[side],
+                assignment, powerplan=s.powerplan,
+                design_name=f"{netlist.name}_{side.value}",
+            )
+    if Side.BACK in defs:
+        merged = merge_defs(defs[Side.FRONT], defs[Side.BACK],
+                            name=netlist.name)
+    else:
+        merged = defs[Side.FRONT]
+    if _corrupting(s.plan, "def_merge", config):
+        _corrupt_merged_def(merged)
+    s.guard.check_merged_def(netlist, merged)
+    s.defs = defs
+    s.merged = merged
+    return {"defs": defs, "merged": merged}
+
+
+def _restore_def_merge(s: _FlowState, art: dict) -> None:
+    s.defs = art["defs"]
+    s.merged = art["merged"]
+    s.guard.check_merged_def(s.netlist, s.merged)
+
+
+def _exec_extraction(s: _FlowState) -> dict:
+    derates = congestion_derates(s.routing_results)
+    s.extraction = extract_design(s.merged, s.netlist, s.library,
+                                  s.placement, rc_derates=derates)
+    return {"extraction": s.extraction}
+
+
+def _restore_extraction(s: _FlowState, art: dict) -> None:
+    s.extraction = art["extraction"]
+
+
+def _exec_sta(s: _FlowState) -> dict:
+    timing = analyze_timing(s.netlist, s.library, s.extraction,
+                            s.config.target_period_ps, clock=s.config.clock)
+    s.timing = timing
+    s.achieved_ghz = timing.achieved_frequency_ghz
+    s.tr.gauge("sta.achieved_frequency_ghz", s.achieved_ghz)
+    s.tr.gauge("sta.wns_ps", timing.wns_ps)
+    return {"timing": timing}
+
+
+def _restore_sta(s: _FlowState, art: dict) -> None:
+    s.timing = art["timing"]
+    s.achieved_ghz = s.timing.achieved_frequency_ghz
+    s.tr.gauge("sta.achieved_frequency_ghz", s.achieved_ghz)
+    s.tr.gauge("sta.wns_ps", s.timing.wns_ps)
+
+
+def _exec_power(s: _FlowState) -> dict:
+    power = analyze_power(s.netlist, s.library, s.extraction, s.achieved_ghz,
+                          activity=s.config.activity, clock=s.config.clock)
+    s.tr.gauge("power.total_mw", power.total_mw)
+    if _corrupting(s.plan, "power", s.config):
+        power = dataclasses.replace(
+            power, switching_mw=-abs(power.switching_mw) - 1.0)
+    s.power = power
+    return {"power": power}
+
+
+def _restore_power(s: _FlowState, art: dict) -> None:
+    s.power = art["power"]
+    s.tr.gauge("power.total_mw", s.power.total_mw)
+
+
+#: The flow as a declarative stage graph.  ``config_fields`` lists only
+#: the fields the stage itself reads — upstream fields are inherited
+#: through key chaining (see :func:`repro.core.stages.stage_key`).
+#: Note which stages do *not* read the layer split: everything up to
+#: and including ``legalization``, which is exactly the prefix a
+#: Table III layer-split enumeration shares.
+FLOW_GRAPH = StageGraph((
+    Stage("library",
+          config_fields=frozenset({"arch", "backside_pin_fraction", "seed"}),
+          upstream=(),
+          execute=_exec_library, restore=_restore_library),
+    Stage("netlist",
+          config_fields=frozenset(),
+          upstream=("library",), uses_netlist=True,
+          execute=_exec_netlist, restore=_restore_netlist),
+    Stage("sizing",
+          config_fields=frozenset({"target_frequency_ghz", "clock",
+                                   "sizing_iterations", "max_fanout"}),
+          upstream=("netlist",),
+          execute=_exec_sizing, restore=_restore_sizing),
+    Stage("floorplan",
+          config_fields=frozenset({"utilization", "aspect_ratio"}),
+          upstream=("sizing",),
+          execute=_exec_floorplan, restore=_restore_floorplan),
+    Stage("powerplan",
+          config_fields=frozenset({"power_stripe_pitch_cpp"}),
+          upstream=("floorplan",),
+          execute=_exec_powerplan, restore=_restore_powerplan),
+    Stage("placement",
+          config_fields=frozenset({"seed"}),
+          upstream=("powerplan",),
+          execute=_exec_placement, restore=_restore_placement),
+    Stage("cts",
+          config_fields=frozenset({"clock"}),
+          upstream=("placement",),
+          execute=_exec_cts, restore=_restore_cts),
+    Stage("legalization",
+          config_fields=frozenset({"refine_placement", "refine_iterations",
+                                   "seed"}),
+          upstream=("cts",),
+          execute=_exec_legalization, restore=_restore_legalization),
+    Stage("routing",
+          config_fields=frozenset({"front_layers", "back_layers",
+                                   "gcell_tracks", "allow_bridging",
+                                   "rrr_iterations"}),
+          upstream=("legalization",),
+          execute=_exec_routing, restore=_restore_routing),
+    Stage("def_merge",
+          config_fields=frozenset(),
+          upstream=("routing",),
+          execute=_exec_def_merge, restore=_restore_def_merge),
+    Stage("extraction",
+          config_fields=frozenset(),
+          upstream=("def_merge",),
+          execute=_exec_extraction, restore=_restore_extraction),
+    Stage("sta",
+          config_fields=frozenset({"target_frequency_ghz", "clock"}),
+          upstream=("extraction",),
+          execute=_exec_sta, restore=_restore_sta),
+    Stage("power",
+          config_fields=frozenset({"activity", "clock"}),
+          upstream=("sta",),
+          execute=_exec_power, restore=_restore_power),
+))
+
+assert FLOW_GRAPH.names == FLOW_STAGES
+
+
+def stage_keys(config: FlowConfig, netlist_fp: str,
+               version: str | None = None) -> dict[str, str]:
+    """Every stage's content-addressed key for one (config, netlist)."""
+    keys: dict[str, str] = {}
+    for stage in FLOW_GRAPH:
+        keys[stage.name] = stages_mod.stage_key(
+            stage, config, [keys[u] for u in stage.upstream],
+            netlist_fp=netlist_fp, version=version)
+    return keys
+
+
 def run_flow(netlist_factory: Callable[[], Netlist], config: FlowConfig,
              library: Library | None = None,
              return_artifacts: bool = False,
              tracer: "telemetry.Tracer | None" = None,
              guard: FlowGuard | None = None,
-             faults: "faults_mod.FaultPlan | None" = None):
+             faults: "faults_mod.FaultPlan | None" = None,
+             store: StageStore | None = None,
+             stop_after: str | None = None):
     """Run the complete flow; returns a :class:`PPAResult`.
 
     ``netlist_factory`` must return a *fresh* netlist each call (the
@@ -190,144 +585,95 @@ def run_flow(netlist_factory: Callable[[], Netlist], config: FlowConfig,
     failures for testing the recovery paths (default: the
     ``$REPRO_FAULTS`` plan, normally inert); see
     :mod:`repro.core.faults`.  Neither changes a healthy run's result.
+
+    ``store`` attaches a :class:`~repro.core.stages.StageStore`: stages
+    whose key is already stored are replayed from their artifact, and
+    freshly executed stages are stored for later walks.  The store
+    never changes what a run returns — only how much of it is
+    recomputed.  It is bypassed when fault injection is active (as the
+    result cache is) and when a pre-built ``library`` is supplied (the
+    stage keys could not vouch for foreign masters).
+
+    ``stop_after`` names a stage after which the walk stops; the
+    partial :class:`FlowArtifacts` (with :attr:`~FlowArtifacts.stage_status`)
+    is returned, with ``result`` populated only when the walk reaches
+    the final stage.
     """
     if guard is None:
         guard = FlowGuard()
     if faults is None:
         faults = faults_mod.plan_from_env()
+    if faults.active or library is not None:
+        # Injected faults must never write to (or be hidden by) the
+        # store; a caller-supplied library bypasses it entirely.
+        store = None
+    if stop_after is not None and stop_after not in FLOW_GRAPH:
+        raise ValueError(
+            f"unknown stage {stop_after!r} (stages: {', '.join(FLOW_STAGES)})")
     with telemetry.activate(tracer) as tr:
         return _run_flow_traced(netlist_factory, config, library,
-                                return_artifacts, tr, guard, faults)
+                                return_artifacts, tr, guard, faults,
+                                store=store, stop_after=stop_after)
+
+
+def _netlist_for_fingerprint(netlist_factory, config) -> Netlist:
+    """Build the fingerprint netlist, attributing failures to ``netlist``."""
+    try:
+        return netlist_factory()
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:
+        wrapped = wrap_stage_error(exc, "netlist", config.label)
+        if wrapped is exc:
+            raise
+        raise wrapped from exc
 
 
 def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr,
-                     guard=NULL_GUARD, plan=faults_mod.FaultPlan()):
-    with _stage(tr, "library", config, plan):
-        if library is None:
-            library = prepare_library(config)
-        tech = library.tech
+                     guard=NULL_GUARD, plan=faults_mod.FaultPlan(),
+                     store=None, stop_after=None):
+    state = _FlowState(config, tr, guard, plan, netlist_factory, library)
+    keys: dict[str, str] = {}
+    if store is not None:
+        state.base_netlist = _netlist_for_fingerprint(netlist_factory, config)
+        keys = stage_keys(config, netlist_fingerprint(state.base_netlist),
+                          version=store.version)
 
-    with _stage(tr, "netlist", config, plan):
-        netlist = netlist_factory()
-        netlist.bind(library)
-        tr.gauge("netlist.instances", len(netlist.instances))
-        tr.gauge("netlist.nets", len(netlist.nets))
+    status: dict[str, str] = {}
+    for stage in FLOW_GRAPH:
+        artifact = store.get(stage.name, keys[stage.name]) \
+            if store is not None else None
+        if artifact is not None:
+            # Replay: same top-level span as an executed stage (so the
+            # canonical stage list holds for every trace), a zero-cost
+            # cache_hit marker inside it, guard checks re-validated on
+            # the loaded artifact by the stage's restore hook.
+            with _stage(tr, stage.name, config, plan):
+                tr.zero_span("cache_hit")
+                stage.restore(state, artifact)
+            status[stage.name] = "cached"
+        else:
+            with _stage(tr, stage.name, config, plan):
+                out = stage.execute(state)
+            if store is not None and out is not None:
+                store.put(stage.name, keys[stage.name], out)
+            status[stage.name] = "ran"
+        if stage.name == stop_after:
+            break
 
-    # Synthesis-style timing optimization against the target period.
-    with _stage(tr, "sizing", config, plan):
-        sizing = size_for_target(
-            netlist, library, config.target_period_ps, clock=config.clock,
-            max_iterations=config.sizing_iterations,
-            max_fanout=config.max_fanout,
+    if stop_after is not None and stop_after != FLOW_STAGES[-1]:
+        return FlowArtifacts(
+            library=state.library, netlist=state.netlist, die=state.die,
+            powerplan=state.powerplan, placement=state.placement,
+            cts_report=state.cts_report,
+            routing_results=state.routing_results, defs=state.defs,
+            merged_def=state.merged, extraction=state.extraction,
+            result=None,
+            trace=tr.finish() if tr.enabled else telemetry.Trace(),
+            stage_status=status,
         )
 
-    # Floorplan and powerplan.
-    with _stage(tr, "floorplan", config, plan):
-        die = plan_floor(netlist, library,
-                         FloorplanSpec(config.utilization,
-                                       config.aspect_ratio))
-    with _stage(tr, "powerplan", config, plan):
-        powerplan = plan_power(tech, die, config.power_stripe_pitch_cpp)
-        util = achieved_utilization(netlist, library, die)
-        if util > powerplan.max_legal_utilization:
-            raise PlacementError(
-                f"utilization {util:.2f} exceeds the Power-Tap-Cell limit "
-                f"{powerplan.max_legal_utilization:.2f}"
-            )
-
-    # Placement and CTS.
-    with _stage(tr, "placement", config, plan):
-        placement = place(netlist, library, die, powerplan, seed=config.seed)
-        if _corrupting(plan, "placement", config) and placement.locations:
-            del placement.locations[next(iter(placement.locations))]
-        guard.check_placement(netlist, die, placement)
-    with _stage(tr, "cts", config, plan):
-        cts_report = synthesize_clock_tree(netlist, library, placement,
-                                           clock_net=config.clock)
-    with _stage(tr, "legalization", config, plan):
-        placement = legalize(placement, netlist, library, powerplan)
-        if config.refine_placement:
-            with tr.span("refine"):
-                refine_placement(netlist, library, placement, powerplan,
-                                 iterations=config.refine_iterations,
-                                 seed=config.seed)
-        guard.check_placement(netlist, die, placement)
-
-    with _stage(tr, "routing", config, plan):
-        # Per-side pin density maps and routing grids.
-        sides = [Side.FRONT] + ([Side.BACK]
-                                if tech.uses_backside_signals else [])
-        grids = {}
-        with tr.span("grids"):
-            for side in sides:
-                pin_xy = []
-                for inst_name, inst in netlist.instances.items():
-                    master = library[inst.master]
-                    p = placement.locations[inst_name]
-                    for pin in master.pins.values():
-                        if pin.on_side(side):
-                            pin_xy.append((p.x_nm, p.y_nm))
-                counts = pin_count_map(pin_xy, die, config.gcell_tracks,
-                                       tech.rules.track_pitch_nm)
-                grids[side] = build_grid(tech, die, side, powerplan,
-                                         pin_counts=counts,
-                                         gcell_tracks=config.gcell_tracks)
-
-        # Algorithm 1: decompose and route each side independently.
-        with tr.span("decompose"):
-            decomposition = decompose_nets(
-                netlist, library, placement, grids,
-                allow_bridging=config.allow_bridging)
-            if _corrupting(plan, "routing", config):
-                _corrupt_decomposition(decomposition)
-            guard.check_decomposition(netlist, decomposition)
-        routing_results = {}
-        for side in sides:
-            with tr.span(f"route.{side.value}"):
-                router = GlobalRouter(grids[side],
-                                      rrr_iterations=config.rrr_iterations)
-                routing_results[side] = router.route_all(
-                    decomposition.specs[side])
-
-    with _stage(tr, "def_merge", config, plan):
-        # Two DEFs, merged for dual-sided extraction (Section III.C).
-        defs = {}
-        for side in sides:
-            with tr.span(f"def_export.{side.value}"):
-                assignment = assign_layers(routing_results[side])
-                defs[side] = def_from_routing(
-                    netlist, placement, die, routing_results[side],
-                    assignment, powerplan=powerplan,
-                    design_name=f"{netlist.name}_{side.value}",
-                )
-        if Side.BACK in defs:
-            merged = merge_defs(defs[Side.FRONT], defs[Side.BACK],
-                                name=netlist.name)
-        else:
-            merged = defs[Side.FRONT]
-        if _corrupting(plan, "def_merge", config):
-            _corrupt_merged_def(merged)
-        guard.check_merged_def(netlist, merged)
-
-    with _stage(tr, "extraction", config, plan):
-        derates = congestion_derates(routing_results)
-        extraction = extract_design(merged, netlist, library, placement,
-                                    rc_derates=derates)
-
-    with _stage(tr, "sta", config, plan):
-        timing = analyze_timing(netlist, library, extraction,
-                                config.target_period_ps, clock=config.clock)
-        achieved_ghz = timing.achieved_frequency_ghz
-        tr.gauge("sta.achieved_frequency_ghz", achieved_ghz)
-        tr.gauge("sta.wns_ps", timing.wns_ps)
-    with _stage(tr, "power", config, plan):
-        power = analyze_power(netlist, library, extraction, achieved_ghz,
-                              activity=config.activity, clock=config.clock)
-        tr.gauge("power.total_mw", power.total_mw)
-        if _corrupting(plan, "power", config):
-            power = dataclasses.replace(
-                power, switching_mw=-abs(power.switching_mw) - 1.0)
-
+    routing_results = state.routing_results
     drv = sum(r.drv_count for r in routing_results.values())
     tr.gauge("route.drv_total", drv)
     front_wl = routing_results[Side.FRONT].total_wirelength_nm / 1000.0
@@ -337,35 +683,38 @@ def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr,
     result = PPAResult(
         label=config.label,
         arch=config.arch,
-        routing_label=tech.routing_label,
+        routing_label=state.tech.routing_label,
         pin_density_label=(
             pin_density_label(config.backside_pin_fraction)
             if config.arch == "ffet" and config.back_layers else ""
         ),
         target_frequency_ghz=config.target_frequency_ghz,
         target_utilization=config.utilization,
-        achieved_utilization=util,
-        core_area_um2=die.area_um2,
-        cell_area_um2=netlist.total_cell_area_nm2(library) / 1e6,
-        cell_count=len(netlist.instances),
-        achieved_frequency_ghz=achieved_ghz,
-        timing=timing,
-        power=power,
+        achieved_utilization=state.util,
+        core_area_um2=state.die.area_um2,
+        cell_area_um2=state.netlist.total_cell_area_nm2(state.library) / 1e6,
+        cell_count=len(state.netlist.instances),
+        achieved_frequency_ghz=state.achieved_ghz,
+        timing=state.timing,
+        power=state.power,
         drv_count=drv,
         total_wirelength_um=front_wl + back_wl,
         front_wirelength_um=front_wl,
         back_wirelength_um=back_wl,
-        tap_cell_count=len(powerplan.tap_cells),
-        cts_buffers=cts_report.buffers,
+        tap_cell_count=len(state.powerplan.tap_cells),
+        cts_buffers=state.cts_report.buffers,
         placement_feasible=True,
     )
     guard.check_result(result)
-    if return_artifacts:
+    if return_artifacts or stop_after is not None:
         return FlowArtifacts(
-            library=library, netlist=netlist, die=die, powerplan=powerplan,
-            placement=placement, cts_report=cts_report,
-            routing_results=routing_results, defs=defs, merged_def=merged,
-            extraction=extraction, result=result,
+            library=state.library, netlist=state.netlist, die=state.die,
+            powerplan=state.powerplan, placement=state.placement,
+            cts_report=state.cts_report,
+            routing_results=routing_results, defs=state.defs,
+            merged_def=state.merged, extraction=state.extraction,
+            result=result,
             trace=tr.finish() if tr.enabled else telemetry.Trace(),
+            stage_status=status,
         )
     return result

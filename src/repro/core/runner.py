@@ -76,6 +76,7 @@ from .config import FlowConfig
 from .errors import FlowError, RunTimeout, wrap_stage_error
 from .flow import run_flow
 from .ppa import FailedRun, PPAResult
+from .stages import StageStore
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
@@ -194,7 +195,8 @@ def _failed_from_transient(config: FlowConfig, failure: _TransientFailure,
 
 def run_once(netlist_factory: Callable[[], Netlist],
              config: FlowConfig,
-             tracer: "telemetry.Tracer | None" = None
+             tracer: "telemetry.Tracer | None" = None,
+             store: StageStore | None = None
              ) -> PPAResult | FailedRun:
     """Run one flow; any flow failure becomes a :class:`FailedRun`.
 
@@ -202,10 +204,11 @@ def run_once(netlist_factory: Callable[[], Netlist],
     :class:`SweepRunner`.  Placement infeasibility yields the classic
     non-quarantined record; every other
     :class:`~repro.core.errors.FlowError` is quarantined with its stage
-    and cause attached.
+    and cause attached.  ``store`` optionally replays cached stage
+    prefixes (see :mod:`repro.core.stages`).
     """
     try:
-        return run_flow(netlist_factory, config, tracer=tracer)
+        return run_flow(netlist_factory, config, tracer=tracer, store=store)
     except FlowError as exc:
         return _failed_from_error(config, exc)
 
@@ -242,23 +245,28 @@ def _run_alarm(timeout_s: float | None, config: FlowConfig):
 def _timed_run(netlist_factory: Callable[[], Netlist],
                config: FlowConfig, trace: bool = False,
                timeout_s: float | None = None, attempt: int = 1,
-               delay_s: float = 0.0
+               delay_s: float = 0.0, cache: FlowCache | None = None
                ) -> tuple[PPAResult | FailedRun | _TransientFailure, float,
-                          telemetry.Trace | None]:
+                          telemetry.Trace | None, dict[str, float]]:
     # Module-level so the process pool can pickle it as a task target.
     # With ``trace`` the worker builds a Tracer and ships the finished
     # (picklable) Trace back to the parent alongside the result.
     # Transient failures come back as a marker so the parent can apply
     # its retry policy; fatal ones come back already quarantined.
+    # With ``cache`` (picklable: a directory + version) the worker
+    # builds a StageStore on it, so every worker shares one on-disk
+    # per-stage artifact store; the store's hit/miss counters travel
+    # back as the outcome's fourth element.
     if delay_s > 0:
         time.sleep(delay_s)  # retry backoff, served in the worker
     faults_mod.set_attempt(attempt)
     tracer = telemetry.Tracer(label=config.label) if trace else None
+    store = StageStore(cache) if cache is not None else None
     start = time.perf_counter()
     try:
         with _run_alarm(timeout_s, config):
             result: PPAResult | FailedRun | _TransientFailure = \
-                run_flow(netlist_factory, config, tracer=tracer)
+                run_flow(netlist_factory, config, tracer=tracer, store=store)
     except (KeyboardInterrupt, SystemExit):
         raise
     except BaseException as exc:
@@ -270,7 +278,8 @@ def _timed_run(netlist_factory: Callable[[], Netlist],
         else:
             result = _failed_from_error(config, err, attempts=attempt)
     wall = time.perf_counter() - start
-    return result, wall, tracer.finish() if tracer is not None else None
+    return (result, wall, tracer.finish() if tracer is not None else None,
+            store.counters() if store is not None else {})
 
 
 @dataclass(frozen=True)
@@ -319,6 +328,13 @@ class SweepStats:
     stage_time_s: dict[str, float] = field(default_factory=dict)
     #: Sweep-level counters, merged from per-run traces.
     counters: dict[str, float] = field(default_factory=dict)
+    #: Stage-store replays across all executed runs (``stage_cache.*``).
+    stage_hits: int = 0
+    #: Stage-store misses (stages actually executed) across all runs.
+    stage_misses: int = 0
+    #: Per-stage store counters (``stage_cache.hit.<stage>`` /
+    #: ``stage_cache.miss.<stage>``), merged from every run's store.
+    stage_counters: dict[str, float] = field(default_factory=dict)
 
     def record(self, rec: RunRecord) -> None:
         self.runs += 1
@@ -342,6 +358,27 @@ class SweepStats:
             self.stage_time_s[name] = \
                 self.stage_time_s.get(name, 0.0) + seconds
         telemetry.merge_counters(self.counters, trace.counters)
+
+    def absorb_stage_counters(self, counters: dict[str, float]) -> None:
+        """Merge one run's stage-store counters into the sweep totals."""
+        if not counters:
+            return
+        self.stage_hits += int(counters.get("stage_cache.hits", 0))
+        self.stage_misses += int(counters.get("stage_cache.misses", 0))
+        telemetry.merge_counters(self.stage_counters, counters)
+
+    def stage_hit_rates(self) -> dict[str, float]:
+        """Per-stage store hit rate over every executed run."""
+        rates: dict[str, float] = {}
+        stages = {name.split(".", 2)[2] for name in self.stage_counters
+                  if name.startswith(("stage_cache.hit.",
+                                      "stage_cache.miss."))}
+        for stage in sorted(stages):
+            hits = self.stage_counters.get(f"stage_cache.hit.{stage}", 0.0)
+            misses = self.stage_counters.get(f"stage_cache.miss.{stage}", 0.0)
+            if hits + misses:
+                rates[stage] = hits / (hits + misses)
+        return rates
 
     def stage_summary(self) -> str:
         """The per-stage time/percentage table over every traced run."""
@@ -368,6 +405,10 @@ class SweepStats:
             parts.append(f"{self.pool_restarts} pool restarts")
         if self.serial_fallbacks:
             parts.append(f"{self.serial_fallbacks} serial fallbacks")
+        if self.stage_hits or self.stage_misses:
+            parts.append(f"{self.stage_hits}/"
+                         f"{self.stage_hits + self.stage_misses} "
+                         "stage replays")
         return (f"sweep: {', '.join(parts)} in {self.elapsed_s:.1f}s wall "
                 f"({self.run_time_s:.1f}s flow time)")
 
@@ -481,9 +522,16 @@ class SweepRunner:
                  trace_dir: str | os.PathLike | None = None,
                  retry: RetryPolicy | None = None,
                  checkpoint: str | os.PathLike | None = None,
-                 resume: bool = True) -> None:
+                 resume: bool = True,
+                 refresh: bool = False) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        #: With ``refresh`` the full-result cache is not *read* (every
+        #: config re-runs its flow) but results are still written and
+        #: the per-stage artifact store stays active — so a refreshed
+        #: sweep replays warm stage prefixes instead of recomputing
+        #: them (CLI ``--refresh``).
+        self.refresh = refresh
         self.retry = retry if retry is not None else RetryPolicy.from_env()
         #: Path of the crash-safe sweep checkpoint (None = disabled).
         self.checkpoint = Path(checkpoint) if checkpoint is not None else None
@@ -538,8 +586,10 @@ class SweepRunner:
             with telemetry.activate(sweep_tracer):
                 # Cache hits are recorded by FlowCache.get as zero-cost
                 # ``cache_hit`` spans on the active (sweep) tracer.
+                # ``refresh`` skips the reads (every point re-runs) but
+                # keeps the duplicate detection and the writes below.
                 for i in pending:
-                    hit = cache.get(keys[i])
+                    hit = None if self.refresh else cache.get(keys[i])
                     if hit is not None:
                         records[i] = RunRecord(configs[i], hit, 0.0,
                                                cache_hit=True)
@@ -569,8 +619,10 @@ class SweepRunner:
 
         def settle(slot: int, outcome: tuple) -> None:
             i = pending[slot]
-            result, wall, trace = outcome
+            result, wall, trace = outcome[:3]
             records[i] = RunRecord(configs[i], result, wall, trace=trace)
+            if len(outcome) > 3 and outcome[3]:
+                self.stats.absorb_stage_counters(outcome[3])
             if ckpt is not None and keys[i] is not None:
                 ckpt.record(keys[i], result, wall)
 
@@ -579,12 +631,12 @@ class SweepRunner:
             if self.jobs > 1 and len(pending) > 1:
                 ran_in_pool = self._run_pool(
                     netlist_factory, [configs[i] for i in pending],
-                    settle, sweep_tracer, trace=tracing)
+                    settle, sweep_tracer, trace=tracing, cache=cache)
             if not ran_in_pool:
                 for slot in range(len(pending)):
                     settle(slot, self._run_serial(
                         netlist_factory, configs[pending[slot]],
-                        sweep_tracer, trace=tracing))
+                        sweep_tracer, trace=tracing, cache=cache))
             else:
                 self.stats.parallel_runs += len(pending)
             if cache is not None:
@@ -634,18 +686,20 @@ class SweepRunner:
                 return None, True
             failed = _failed_from_transient(config, result, attempt)
             self._note(tracer, "quarantined")
-            return (failed, outcome[1], outcome[2]), False
+            return (failed,) + tuple(outcome[1:]), False
         if isinstance(result, FailedRun) and result.quarantined:
             self._note(tracer, "quarantined")
         return outcome, False
 
     def _run_serial(self, netlist_factory, config: FlowConfig, tracer,
-                    trace: bool = False) -> tuple:
+                    trace: bool = False,
+                    cache: FlowCache | None = None) -> tuple:
         """One run on the serial path, with the full retry policy."""
         attempt = 1
         while True:
             outcome = _timed_run(netlist_factory, config, trace,
-                                 self.retry.timeout_s, attempt)
+                                 self.retry.timeout_s, attempt,
+                                 cache=cache)
             final, retry = self._settle_transient(outcome, config, attempt,
                                                   tracer)
             if not retry:
@@ -669,7 +723,7 @@ class SweepRunner:
             self._trace_seq += 1
 
     def _run_pool(self, netlist_factory, configs, settle, tracer,
-                  trace=False) -> bool:
+                  trace=False, cache: FlowCache | None = None) -> bool:
         """Pool execution with retry, salvage and watchdog.
 
         Calls ``settle(slot, outcome)`` exactly once per config as runs
@@ -700,7 +754,8 @@ class SweepRunner:
                 self._note(tracer, "serial_fallbacks")
                 for slot in list(pending):
                     settle(slot, self._run_serial(
-                        netlist_factory, configs[slot], tracer, trace))
+                        netlist_factory, configs[slot], tracer, trace,
+                        cache=cache))
                     pending.remove(slot)
                 return True
 
@@ -714,7 +769,8 @@ class SweepRunner:
                 self._note(tracer, "serial_fallbacks")
                 for slot in list(pending):
                     settle(slot, self._run_serial(
-                        netlist_factory, configs[slot], tracer, trace))
+                        netlist_factory, configs[slot], tracer, trace,
+                        cache=cache))
                     pending.remove(slot)
                 return True
 
@@ -724,7 +780,8 @@ class SweepRunner:
                 for slot in pending:
                     fut_map[pool.submit(
                         _timed_run, netlist_factory, configs[slot], trace,
-                        self.retry.timeout_s, attempts[slot])] = slot
+                        self.retry.timeout_s, attempts[slot], 0.0,
+                        cache)] = slot
                 waiting = set(fut_map)
                 watchdog = (None if self.retry.timeout_s is None
                             else self.retry.timeout_s + WATCHDOG_GRACE_S)
@@ -781,7 +838,8 @@ class SweepRunner:
                             fresh = pool.submit(
                                 _timed_run, netlist_factory, configs[slot],
                                 trace, self.retry.timeout_s, attempts[slot],
-                                self.retry.backoff_s(attempts[slot] - 1))
+                                self.retry.backoff_s(attempts[slot] - 1),
+                                cache)
                             fut_map[fresh] = slot
                             waiting.add(fresh)
                         else:

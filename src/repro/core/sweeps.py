@@ -107,6 +107,28 @@ class LayerSweepPoint:
         return f"FM{self.front_layers}{back}"
 
 
+def layer_split_sweep(netlist_factory: Callable[[], Netlist],
+                      config: FlowConfig,
+                      splits: Sequence[tuple[int, int]],
+                      runner: SweepRunner | None = None,
+                      ) -> list[LayerSweepPoint]:
+    """One run per (front, back) routing-layer split (Table III space).
+
+    Every split shares the flow prefix up to ``legalization`` — the
+    layer counts first enter the stage key chain at ``routing`` — so
+    with a cached runner the sweep places once and routes N times (see
+    docs/architecture.md).
+    """
+    configs = [config.with_(front_layers=front, back_layers=back)
+               for front, back in splits]
+    runs = _runner(runner).run_many(netlist_factory, configs)
+    points = []
+    for (front, back), run in zip(splits, runs):
+        util = run.achieved_utilization if isinstance(run, PPAResult) else 0.0
+        points.append(LayerSweepPoint(front, back, util, run))
+    return points
+
+
 def layer_count_utilization_sweep(netlist_factory: Callable[[], Netlist],
                                   config: FlowConfig,
                                   layer_counts: Sequence[int] = tuple(range(2, 13)),

@@ -17,9 +17,12 @@ from .powerplan import (
     LEGALIZATION_PACK_LIMIT,
     TAP_CELL_WIDTH_SITES,
     PowerPlan,
+    PowerPlanLayout,
     PowerStripe,
     TapCell,
+    bind_power_layers,
     plan_power,
+    plan_power_layout,
 )
 from .routing import (
     GlobalRouter,
@@ -47,6 +50,7 @@ __all__ = [
     "PlacementError",
     "Point",
     "PowerPlan",
+    "PowerPlanLayout",
     "PowerStripe",
     "Rect",
     "RoutingGrid",
@@ -66,6 +70,8 @@ __all__ = [
     "place",
     "pin_count_map",
     "plan_floor",
+    "bind_power_layers",
     "plan_power",
+    "plan_power_layout",
     "synthesize_clock_tree",
 ]

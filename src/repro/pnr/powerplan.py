@@ -102,13 +102,70 @@ class PowerPlan:
         return self.layer_capacity_factor.get(layer_name, 1.0)
 
 
-def plan_power(tech: TechNode, die: Die,
-               stripe_pitch_cpp: int | None = None) -> PowerPlan:
-    """Build the BSPDN and (for FFET) place the Power Tap Cells."""
+@dataclass
+class PowerPlanLayout:
+    """The routing-layer-independent half of a power plan.
+
+    Stripe positions, tap-cell placement and the utilization cap depend
+    only on the die, the architecture and the stripe pitch — never on
+    how many routing layers the config enables — so a layout computed
+    once is shared across every front/back layer split of the same
+    floorplan (the stage cache stores exactly this object; see
+    docs/architecture.md).  :func:`bind_power_layers` attaches the
+    layer-dependent part (stripe layer names, capacity derates).
+    """
+
+    die: Die
+    #: ``(net, x_nm, width_nm)`` per stripe, in construction order.
+    stripe_slots: list[tuple[str, float, float]] = field(default_factory=list)
+    tap_cells: list[TapCell] = field(default_factory=list)
+
+
+def plan_power_layout(tech: TechNode, die: Die,
+                      stripe_pitch_cpp: int | None = None) -> PowerPlanLayout:
+    """Place the BSPDN stripes and (for FFET) the Power Tap Cells.
+
+    Uses only layer-count-invariant tech attributes (CPP, design rules,
+    architecture), so the result is identical for every routing-layer
+    split of the same node.
+    """
     pitch_cpp = stripe_pitch_cpp or tech.rules.power_stripe_pitch_cpp
     pitch_nm = pitch_cpp * tech.cpp_nm
+    layout = PowerPlanLayout(die=die)
 
-    plan = PowerPlan(tech=tech, die=die)
+    # Interleaved stripes: VSS at 0, VDD at pitch, VSS at 2*pitch, ...
+    n_stripes = max(1, int(die.width_nm // pitch_nm) + 1)
+    for k in range(n_stripes):
+        net = "VSS" if k % 2 == 0 else "VDD"
+        layout.stripe_slots.append((net, k * pitch_nm, 200.0))
+
+    tap_index = 0
+    for net, x_nm, _width in layout.stripe_slots:
+        if tech.arch == "ffet":
+            # One Power Tap Cell per row under every backside VSS
+            # stripe (Fig. 6a); VDD rails reach the BSPDN directly.
+            if net != "VSS":
+                continue
+            prefix = "ptap"
+        else:
+            # CFET: nTSV landing area per row under *every* stripe —
+            # both BPR polarities need a through-silicon connection
+            # (Fig. 6c), which blocks the sites above it.
+            prefix = "ntsv"
+        site = die.site_of(x_nm)
+        site = min(site, die.sites_per_row - TAP_CELL_WIDTH_SITES)
+        for row in range(die.rows):
+            layout.tap_cells.append(
+                TapCell(name=f"{prefix}_{tap_index}", row=row, site=site)
+            )
+            tap_index += 1
+    return layout
+
+
+def bind_power_layers(layout: PowerPlanLayout, tech: TechNode) -> PowerPlan:
+    """Attach the layer-dependent PDN details to a stripe layout."""
+    plan = PowerPlan(tech=tech, die=layout.die,
+                     tap_cells=list(layout.tap_cells))
 
     if tech.arch == "ffet":
         back_signal = tech.routing_layers(Side.BACK)
@@ -127,32 +184,16 @@ def plan_power(tech: TechNode, die: Die,
     else:
         stripe_layer = "BM2"  # CFET PDN-only layers; no signal impact
 
-    # Interleaved stripes: VSS at 0, VDD at pitch, VSS at 2*pitch, ...
-    n_stripes = max(1, int(die.width_nm // pitch_nm) + 1)
-    for k in range(n_stripes):
-        net = "VSS" if k % 2 == 0 else "VDD"
+    for net, x_nm, width_nm in layout.stripe_slots:
         plan.stripes.append(
-            PowerStripe(net=net, x_nm=k * pitch_nm, layer=stripe_layer)
+            PowerStripe(net=net, x_nm=x_nm, layer=stripe_layer,
+                        width_nm=width_nm)
         )
-
-    tap_index = 0
-    for stripe in plan.stripes:
-        if tech.arch == "ffet":
-            # One Power Tap Cell per row under every backside VSS
-            # stripe (Fig. 6a); VDD rails reach the BSPDN directly.
-            if stripe.net != "VSS":
-                continue
-            prefix = "ptap"
-        else:
-            # CFET: nTSV landing area per row under *every* stripe —
-            # both BPR polarities need a through-silicon connection
-            # (Fig. 6c), which blocks the sites above it.
-            prefix = "ntsv"
-        site = die.site_of(stripe.x_nm)
-        site = min(site, die.sites_per_row - TAP_CELL_WIDTH_SITES)
-        for row in range(die.rows):
-            plan.tap_cells.append(
-                TapCell(name=f"{prefix}_{tap_index}", row=row, site=site)
-            )
-            tap_index += 1
     return plan
+
+
+def plan_power(tech: TechNode, die: Die,
+               stripe_pitch_cpp: int | None = None) -> PowerPlan:
+    """Build the BSPDN and (for FFET) place the Power Tap Cells."""
+    return bind_power_layers(plan_power_layout(tech, die, stripe_pitch_cpp),
+                             tech)

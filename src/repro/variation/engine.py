@@ -38,6 +38,7 @@ from ..core.config import FlowConfig
 from ..core.flow import run_flow
 from ..core.ppa import PPAResult
 from ..core.runner import resolve_jobs
+from ..core.stages import StageStore
 from ..extract import Extraction
 from ..netlist import Netlist
 from .models import VariationModel
@@ -90,8 +91,11 @@ def nominal_bundle(netlist_factory, config: FlowConfig,
 
     With a cache, the bundle is stored under the same content-addressed
     key recipe as flow results (config + netlist fingerprint + code
-    version) in the pickle blob sidecar.  Active fault injection
-    bypasses the cache, mirroring the sweep runner's rule.
+    version) in the pickle blob sidecar, and a fresh nominal run goes
+    through the cache's per-stage artifact store
+    (:class:`~repro.core.stages.StageStore`) so it replays any flow
+    prefix an earlier run or sweep already computed.  Active fault
+    injection bypasses the cache, mirroring the sweep runner's rule.
     """
     tr = tracer if tracer is not None else telemetry.NULL_TRACER
     if faults_mod.faults_active():
@@ -104,9 +108,10 @@ def nominal_bundle(netlist_factory, config: FlowConfig,
             tr.count("mc.nominal_cache_hits")
             stored.cached = True
             return stored
+    store = StageStore(cache) if cache is not None else None
     with tr.span("mc.nominal"):
         artifacts = run_flow(netlist_factory, config, return_artifacts=True,
-                             tracer=tracer)
+                             tracer=tracer, store=store)
     bundle = NominalBundle(result=artifacts.result, netlist=artifacts.netlist,
                            library=artifacts.library,
                            extraction=artifacts.extraction)

@@ -1,0 +1,81 @@
+"""CLI surfaces of the stage-graph engine: ``repro stages``,
+``repro run --stop-after``, ``repro sweep layers`` and ``--refresh``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.core.flow import FLOW_STAGES
+
+FAST = ["--xlen", "4", "--nregs", "4"]
+
+
+class TestStagesCommand:
+    def test_lists_every_stage(self, capsys):
+        assert main(["stages"]) == 0
+        out = capsys.readouterr().out
+        for name in FLOW_STAGES:
+            assert name in out
+        assert "docs/architecture.md" in out
+
+    def test_json_mode_matches_the_graph(self, capsys):
+        assert main(["stages", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["name"] for r in rows] == list(FLOW_STAGES)
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["netlist"]["uses_netlist"] is True
+        assert "front_layers" in by_name["routing"]["config_fields"]
+        assert "front_layers" not in by_name["placement"]["transitive_fields"]
+
+
+class TestStopAfter:
+    def test_partial_walk_then_replay(self, tmp_path, capsys):
+        args = ["run", "--stop-after", "cts",
+                "--cache-dir", str(tmp_path)] + FAST
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert cold.count("ran") == FLOW_STAGES.index("cts") + 1
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert warm.count("replayed from stage store") == \
+            FLOW_STAGES.index("cts") + 1
+
+    def test_no_cache_walks_without_a_store(self, capsys):
+        assert main(["run", "--stop-after", "floorplan",
+                     "--no-cache"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "floorplan" in out and "replayed" not in out
+
+    def test_unknown_stage_rejected(self, capsys):
+        try:
+            main(["run", "--stop-after", "detail_route"] + FAST)
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:
+            raise AssertionError("argparse should reject unknown stages")
+
+
+class TestLayerSweep:
+    def test_splits_share_the_prefix(self, tmp_path, capsys):
+        assert main(["sweep", "layers", "--splits", "9:3", "6:6",
+                     "--jobs", "1", "--cache-dir", str(tmp_path)]
+                    + FAST) == 0
+        out = capsys.readouterr().out
+        assert "FM9BM3" in out and "FM6BM6" in out
+        assert "stage replays" in out
+
+    def test_malformed_split_is_an_error(self, tmp_path, capsys):
+        assert main(["sweep", "layers", "--splits", "9-3",
+                     "--cache-dir", str(tmp_path)] + FAST) == 2
+        assert "FRONT:BACK" in capsys.readouterr().err
+
+    def test_refresh_replays_every_stage(self, tmp_path, capsys):
+        args = ["sweep", "layers", "--splits", "9:3", "--jobs", "1",
+                "--cache-dir", str(tmp_path)] + FAST
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--refresh"]) == 0
+        out = capsys.readouterr().out
+        replays = len(FLOW_STAGES)
+        assert f"{replays}/{replays} stage replays" in out

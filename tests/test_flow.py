@@ -59,12 +59,25 @@ class TestLibraryPreparation:
         lib = prepare_library(cfg)
         assert lib.backside_input_fraction() == pytest.approx(0.3, abs=0.03)
 
-    def test_cache_shares_masters(self):
+    def test_layer_split_invariant_masters(self):
+        # Characterization ignores the routing-layer split: two builds
+        # of the same (arch, fraction, seed) at different splits agree
+        # on every master, which is what lets the library stage's
+        # store entry be shared across layer sweeps.  (The old
+        # process-global _MASTER_CACHE asserted this via object
+        # identity; the stage store asserts it via equality.)
         cfg = FlowConfig(arch="ffet", backside_pin_fraction=0.3)
         a = prepare_library(cfg)
         b = prepare_library(cfg.with_(front_layers=6, back_layers=6))
-        assert a["INVD1"] is b["INVD1"]
+        assert set(a.masters) == set(b.masters)
+        assert a["INVD1"].pins.keys() == b["INVD1"].pins.keys()
+        assert a["INVD1"].width_cpp == b["INVD1"].width_cpp
+        assert a.backside_input_fraction() == b.backside_input_fraction()
         assert a.tech.routing_label != b.tech.routing_label
+
+    def test_no_process_global_master_cache(self):
+        import repro.core.flow as flow_mod
+        assert not hasattr(flow_mod, "_MASTER_CACHE")
 
 
 class TestFlowResults:

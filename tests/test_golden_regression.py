@@ -91,6 +91,45 @@ def test_traced_parallel_sweep_matches_golden(golden, tmp_path):
     assert len(list(tmp_path.glob("run-*.jsonl"))) == len(names)
 
 
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_stage_store_cold_and_warm_match_golden(golden, tmp_path, jobs):
+    """The per-stage artifact store never changes a result: cold walks
+    (every stage executed and stored) and warm walks (every stage
+    replayed, forced by ``refresh``) both reproduce the pinned numbers
+    bit-for-bit, serial and parallel alike."""
+    names = [n for n in sorted(CASES)
+             if isinstance(CASES[n][0], MultiplierFactory)]
+    factory = CASES[names[0]][0]
+    configs = [CASES[n][1] for n in names]
+
+    cold = SweepRunner(jobs=jobs, cache=FlowCache(tmp_path))
+    for name, result in zip(names, cold.run_many(factory, configs)):
+        assert result_to_payload(result) == golden[name]
+    assert cold.stats.stage_misses > 0
+
+    warm = SweepRunner(jobs=jobs, cache=FlowCache(tmp_path), refresh=True)
+    for name, result in zip(names, warm.run_many(factory, configs)):
+        assert result_to_payload(result) == golden[name]
+    assert warm.stats.cache_hits == 0
+    assert warm.stats.stage_misses == 0
+    assert warm.stats.stage_hits == cold.stats.stage_misses
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_store_disabled_matches_golden(golden, jobs):
+    """Without a cache there is no stage store; the plain path still
+    reproduces the pinned numbers at any job count."""
+    names = [n for n in sorted(CASES)
+             if isinstance(CASES[n][0], MultiplierFactory)]
+    factory = CASES[names[0]][0]
+    runner = SweepRunner(jobs=jobs)
+    for name, result in zip(names, runner.run_many(factory,
+                                                   [CASES[n][1]
+                                                    for n in names])):
+        assert result_to_payload(result) == golden[name]
+    assert runner.stats.stage_hits == runner.stats.stage_misses == 0
+
+
 def test_golden_payloads_round_trip(golden):
     """Fixtures deserialize into results equal to their re-serialization."""
     for name, payload in golden.items():

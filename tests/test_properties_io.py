@@ -87,3 +87,67 @@ class TestLibertyTableProperties:
         load = rng.uniform(0.5, 40.0)
         assert back.delay(slew, load, True) == pytest.approx(
             orig.delay(slew, load, True), abs=1e-3)
+
+
+@st.composite
+def spef_cases(draw):
+    """A synthetic netlist + extraction pair covering the SPEF subset."""
+    from repro.extract import Extraction
+    from repro.extract.rc import NetParasitics
+    from repro.netlist import Netlist
+
+    netlist = Netlist(f"d{draw(st.integers(0, 99))}")
+    extraction = Extraction()
+    for i in range(draw(st.integers(1, 6))):
+        name = f"n{i}"
+        net = netlist.add_net(name)
+        if draw(st.booleans()):
+            net.driver = (f"u{i}", "ZN")
+        else:
+            net.is_primary_input = True
+        for s in range(draw(st.integers(0, 4))):
+            net.sinks.append(
+                (f"u{i}x{s}", draw(st.sampled_from(["A1", "A2", "D", "CP"]))))
+        # Values with <= 4 decimal places survive the writer's %.6f.
+        extraction.nets[name] = NetParasitics(
+            net=name,
+            wire_cap_ff=draw(st.integers(0, 10**6)) / 1e4,
+            wire_res_kohm=draw(st.integers(0, 10**6)) / 1e4,
+            pin_cap_ff=draw(st.integers(0, 10**4)) / 1e4,
+            sink_elmore_ps={},
+            wirelength_nm=0.0,
+        )
+    return netlist, extraction
+
+
+class TestSpefRoundTripProperties:
+    @slow
+    @given(spef_cases())
+    def test_round_trip_preserves_every_net(self, case):
+        from repro.extract import parse_spef, write_spef
+
+        netlist, extraction = case
+        parsed = parse_spef(write_spef(netlist, extraction))
+        assert set(parsed) == set(netlist.nets)
+        for name, net in netlist.nets.items():
+            spef = parsed[name]
+            assert spef.driver == net.driver
+            assert spef.sinks == net.sinks
+            p = extraction[name]
+            assert spef.wire_cap_ff == pytest.approx(p.wire_cap_ff,
+                                                     abs=1e-6)
+            assert spef.wire_res_kohm == pytest.approx(p.wire_res_kohm,
+                                                       abs=1e-6)
+            assert spef.total_cap_ff == pytest.approx(p.total_cap_ff,
+                                                      abs=1e-6)
+
+    @slow
+    @given(spef_cases())
+    def test_writer_skips_unextracted_nets(self, case):
+        from repro.extract import parse_spef, write_spef
+
+        netlist, extraction = case
+        dropped = sorted(extraction.nets)[0]
+        del extraction.nets[dropped]
+        parsed = parse_spef(write_spef(netlist, extraction))
+        assert set(parsed) == set(netlist.nets) - {dropped}
