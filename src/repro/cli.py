@@ -45,8 +45,8 @@ from .core import guard as guard_mod
 from .core.doe import cooptimization_table, pin_density_doe
 from .core.errors import FlowError
 from .core.io import results_to_csv, results_to_json
-from .core.sweeps import (frequency_sweep, layer_split_sweep,
-                          utilization_sweep)
+from .core.sweeps import (cts_mode_sweep, frequency_sweep,
+                          layer_split_sweep, utilization_sweep)
 from .synth import RiscvConfig, generate_riscv_core
 
 
@@ -68,6 +68,13 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--frequency", type=float, default=1.5,
                         help="synthesis target, GHz")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cts-mode", choices=("single", "dual"),
+                        default="single",
+                        help="clock tree: frontside-only or partitioned "
+                             "across both metal stacks (ffet only)")
+    parser.add_argument("--cts-back-fraction", type=float, default=0.5,
+                        help="dual CTS: target share of clock wirelength "
+                             "on backside metal")
 
 
 def _add_output_args(parser: argparse.ArgumentParser) -> None:
@@ -175,6 +182,8 @@ def _config_from(args) -> FlowConfig:
         utilization=args.utilization,
         target_frequency_ghz=args.frequency,
         seed=args.seed,
+        cts_mode=getattr(args, "cts_mode", "single"),
+        cts_back_fraction=getattr(args, "cts_back_fraction", 0.5),
     )
 
 
@@ -289,6 +298,31 @@ def cmd_stages(args) -> int:
     return 0
 
 
+def _print_cts_comparison(points) -> None:
+    """Pair up single/dual CTS points and print the deltas."""
+    by_key = {}
+    for p in points:
+        by_key.setdefault((p.utilization, p.front_layers, p.back_layers),
+                          {})[p.cts_mode] = p.result
+    print(f"{'point':<16} {'mode':<7} {'fmax GHz':>9} {'skew ps':>8} "
+          f"{'clk bufs':>8} {'power mW':>9} {'back clk':>9}")
+    for (util, front, back), modes in by_key.items():
+        label = f"FM{front}BM{back} u{util:.2f}"
+        for mode in ("single", "dual"):
+            r = modes.get(mode)
+            if r is None:
+                continue
+            if not r.valid:
+                print(f"{label:<16} {mode:<7} {'failed':>9}")
+                continue
+            print(f"{label:<16} {mode:<7} "
+                  f"{r.achieved_frequency_ghz:>9.3f} "
+                  f"{r.timing.clock_skew_ps:>8.2f} "
+                  f"{r.cts_buffers:>8d} "
+                  f"{r.power.total_mw:>9.3f} "
+                  f"{'yes' if mode == 'dual' else 'no':>9}")
+
+
 def cmd_sweep(args) -> int:
     factory = _factory_from(args)
     config = _config_from(args)
@@ -302,6 +336,14 @@ def cmd_sweep(args) -> int:
         sweep_points = layer_split_sweep(factory, config, splits,
                                          runner=runner)
         runs = [p.result for p in sweep_points]
+    elif args.axis == "cts":
+        utils = args.points or [0.5, 0.7]
+        splits = [_parse_split(s) for s in (args.splits or ["12:12", "6:6"])]
+        points = cts_mode_sweep(factory, config, utils, splits,
+                                runner=runner,
+                                back_fraction=args.cts_back_fraction)
+        _print_cts_comparison(points)
+        runs = [p.result for p in points]
     else:
         targets = args.targets or [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
         runs = frequency_sweep(factory, config, targets, runner=runner)
@@ -524,16 +566,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the graph as JSON")
     p.set_defaults(func=cmd_stages)
 
-    p = sub.add_parser("sweep", help="utilization, frequency or "
-                                     "routing-layer-split sweep")
-    p.add_argument("axis", choices=("utilization", "frequency", "layers"))
+    p = sub.add_parser("sweep", help="utilization, frequency, "
+                                     "routing-layer-split or CTS-mode sweep")
+    p.add_argument("axis", choices=("utilization", "frequency", "layers",
+                                    "cts"))
     p.add_argument("--points", type=float, nargs="+",
                    help="utilization points")
     p.add_argument("--targets", type=float, nargs="+",
                    help="frequency targets, GHz")
     p.add_argument("--splits", nargs="+", metavar="FRONT:BACK",
                    help="routing-layer splits for the layers axis "
-                        "(default: 9:3 8:4 7:5 6:6)")
+                        "(default: 9:3 8:4 7:5 6:6) or the cts axis "
+                        "(default: 12:12 6:6)")
     _add_core_args(p)
     _add_config_args(p)
     _add_output_args(p)

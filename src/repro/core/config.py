@@ -27,6 +27,12 @@ class FlowConfig:
     clock: str = "clk"
     gcell_tracks: int = 16
     max_fanout: int = 20
+    #: Clock tree synthesis: ``"single"`` keeps the whole tree on
+    #: frontside metal; ``"dual"`` partitions tree nets between the FM*
+    #: and BM* stacks (FFET with backside layers only).
+    cts_mode: str = "single"
+    #: Target share of clock wirelength on backside metal in dual mode.
+    cts_back_fraction: float = 0.5
     activity: float = 0.25
     allow_bridging: bool = False
     power_stripe_pitch_cpp: int | None = None
@@ -52,6 +58,15 @@ class FlowConfig:
         if self.back_layers == 0 and self.backside_pin_fraction:
             raise ValueError(
                 "backside pins need backside routing layers (or bridging)"
+            )
+        if self.cts_mode not in ("single", "dual"):
+            raise ValueError(f"unknown cts_mode {self.cts_mode!r}")
+        if not 0.0 <= self.cts_back_fraction <= 1.0:
+            raise ValueError("cts_back_fraction must be in [0, 1]")
+        if self.cts_mode == "dual" and (self.arch != "ffet"
+                                        or not self.back_layers):
+            raise ValueError(
+                "dual-sided CTS needs FFET with backside routing layers"
             )
 
     @property

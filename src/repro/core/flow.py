@@ -48,6 +48,7 @@ from ..pnr import (
     refine_placement,
     synthesize_clock_tree,
 )
+from ..pnr.cts import emit_cts_gauges
 from ..power import analyze_power
 from ..sta import analyze_timing
 from ..synth import size_for_target
@@ -318,8 +319,9 @@ def _restore_placement(s: _FlowState, art: dict) -> None:
 
 
 def _exec_cts(s: _FlowState) -> dict:
-    s.cts_report = synthesize_clock_tree(s.netlist, s.library, s.placement,
-                                         clock_net=s.config.clock)
+    s.cts_report = synthesize_clock_tree(
+        s.netlist, s.library, s.placement, clock_net=s.config.clock,
+        mode=s.config.cts_mode, back_fraction=s.config.cts_back_fraction)
     # CTS rewires the clock net and moves buffers: snapshot both the
     # netlist and the placement it mutated, in one blob so shared
     # references stay consistent on restore.
@@ -331,6 +333,7 @@ def _restore_cts(s: _FlowState, art: dict) -> None:
     s.netlist = art["netlist"]
     s.placement = art["placement"]
     s.cts_report = art["cts_report"]
+    emit_cts_gauges(s.tr, s.cts_report)
 
 
 def _exec_legalization(s: _FlowState) -> dict:
@@ -371,11 +374,19 @@ def _exec_routing(s: _FlowState) -> dict:
                                      pin_counts=counts,
                                      gcell_tracks=config.gcell_tracks)
 
-    # Algorithm 1: decompose and route each side independently.
+    # Algorithm 1: decompose and route each side independently.  Dual-
+    # sided CTS hands routing a side assignment for clock tree nets:
+    # nets marked "back" are forced onto the backside grid wholesale.
+    side_overrides = {
+        net: Side.BACK
+        for net, assigned in getattr(s.cts_report, "net_sides", {}).items()
+        if assigned == "back"
+    }
     with tr.span("decompose"):
         decomposition = decompose_nets(
             netlist, library, placement, grids,
-            allow_bridging=config.allow_bridging)
+            allow_bridging=config.allow_bridging,
+            side_overrides=side_overrides)
         if _corrupting(s.plan, "routing", config):
             _corrupt_decomposition(decomposition)
         s.guard.check_decomposition(netlist, decomposition)
@@ -512,7 +523,8 @@ FLOW_GRAPH = StageGraph((
           upstream=("powerplan",),
           execute=_exec_placement, restore=_restore_placement),
     Stage("cts",
-          config_fields=frozenset({"clock"}),
+          config_fields=frozenset({"clock", "cts_mode",
+                                   "cts_back_fraction"}),
           upstream=("placement",),
           execute=_exec_cts, restore=_restore_cts),
     Stage("legalization",

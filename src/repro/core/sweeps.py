@@ -146,6 +146,51 @@ def layer_count_utilization_sweep(netlist_factory: Callable[[], Netlist],
     return points
 
 
+@dataclass(frozen=True)
+class CtsSweepPoint:
+    """One point of the single- vs dual-sided CTS comparison DoE."""
+
+    utilization: float
+    front_layers: int
+    back_layers: int
+    cts_mode: str
+    result: PPAResult | FailedRun
+
+    @property
+    def label(self) -> str:
+        back = f"BM{self.back_layers}" if self.back_layers else ""
+        return (f"FM{self.front_layers}{back} u{self.utilization:.2f} "
+                f"cts={self.cts_mode}")
+
+
+def cts_mode_sweep(netlist_factory: Callable[[], Netlist],
+                   config: FlowConfig,
+                   utilizations: Sequence[float] = (0.5, 0.7),
+                   splits: Sequence[tuple[int, int]] = ((12, 12), (6, 6)),
+                   runner: SweepRunner | None = None,
+                   back_fraction: float = 0.5,
+                   ) -> list[CtsSweepPoint]:
+    """Single- vs dual-sided CTS over the Fig. 12 utilization x
+    layer-split DoE.
+
+    All points go through one :meth:`~SweepRunner.run_many` call, so a
+    cached runner shares each utilization's library..placement prefix
+    across CTS modes and layer splits — CTS is the first stage whose
+    key differs between the two modes.
+    """
+    grid = [(util, front, back, mode)
+            for util in utilizations
+            for front, back in splits
+            for mode in ("single", "dual")]
+    configs = [config.with_(utilization=util, front_layers=front,
+                            back_layers=back, cts_mode=mode,
+                            cts_back_fraction=back_fraction)
+               for util, front, back, mode in grid]
+    runs = _runner(runner).run_many(netlist_factory, configs)
+    return [CtsSweepPoint(util, front, back, mode, run)
+            for (util, front, back, mode), run in zip(grid, runs)]
+
+
 def layer_count_efficiency_sweep(netlist_factory: Callable[[], Netlist],
                                  config: FlowConfig,
                                  layer_counts: Sequence[int] = tuple(range(3, 13)),

@@ -54,13 +54,22 @@ def _sink_side(library: Library, netlist: Netlist,
 
 def decompose_nets(netlist: Netlist, library: Library, placement: Placement,
                    grids: dict[Side, RoutingGrid],
-                   allow_bridging: bool = False) -> NetDecomposition:
+                   allow_bridging: bool = False,
+                   side_overrides: dict[str, Side] | None = None
+                   ) -> NetDecomposition:
     """Split nets by sink pin side and build per-side routing requests.
 
     Follows Algorithm 1: for every net, initialize a front and a back
     net with the source, assign each sink by its pin's side, and emit
     the non-trivial subnets for independent routing.  Raises when a
     sink lies on an unroutable side and bridging is disabled.
+
+    ``side_overrides`` forces whole nets onto one side regardless of
+    their sink pins' declared sides — how dual-sided CTS steers clock
+    subtrees onto backside metal (FFET sinks are reachable from either
+    side through the dual-sided source and clock TSVs).  Overridden
+    nets still pass the decomposition guard: every sink is covered,
+    just on the hinted side.
 
     Bridging mutates the netlist, so decomposition restarts until it
     converges (bridged nets then route natively).
@@ -70,7 +79,8 @@ def decompose_nets(netlist: Netlist, library: Library, placement: Placement,
     all_bridges: list[str] = []
     while True:
         decomp = _decompose_once(netlist, library, placement, grids,
-                                 allow_bridging, len(all_bridges))
+                                 allow_bridging, len(all_bridges),
+                                 side_overrides or {})
         if not decomp.bridges:
             decomp.bridges = all_bridges
             tracer = current_tracer()
@@ -84,7 +94,8 @@ def decompose_nets(netlist: Netlist, library: Library, placement: Placement,
 def _decompose_once(netlist: Netlist, library: Library, placement: Placement,
                     grids: dict[Side, RoutingGrid],
                     allow_bridging: bool,
-                    bridge_counter: int) -> NetDecomposition:
+                    bridge_counter: int,
+                    side_overrides: dict[str, Side]) -> NetDecomposition:
     tech = library.tech
     available = set(grids)
     decomp = NetDecomposition(specs={side: [] for side in available})
@@ -93,8 +104,10 @@ def _decompose_once(netlist: Netlist, library: Library, placement: Placement,
         sinks_by_side: dict[Side, list[tuple[str, str]]] = {
             Side.FRONT: [], Side.BACK: [],
         }
+        forced = side_overrides.get(net_name)
         for inst_name, pin_name in net.sinks:
-            side = _sink_side(library, netlist, inst_name, pin_name)
+            side = forced if forced is not None else \
+                _sink_side(library, netlist, inst_name, pin_name)
             sinks_by_side[side].append((inst_name, pin_name))
 
         # Which sides can the source feed?  Dual-sided output pins (or

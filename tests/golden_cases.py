@@ -46,4 +46,9 @@ CASES: dict[str, tuple[object, FlowConfig]] = {
                    FlowConfig(arch="cfet", back_layers=0,
                               backside_pin_fraction=0.0)),
     "ffet_dual_rv8": (RiscvTinyFactory(), FlowConfig()),
+    # Dual-sided CTS is opt-in: this pinned variant proves the knob
+    # produces stable numbers while every case above (cts_mode="single"
+    # by default) stays bit-for-bit unchanged.
+    "ffet_dualcts_mult5": (MultiplierFactory(5),
+                           FlowConfig(cts_mode="dual")),
 }

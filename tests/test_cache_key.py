@@ -49,6 +49,10 @@ FIELD_VALUES = {
     "clock": st.sampled_from(["ck", "clock", "clk2"]),
     "gcell_tracks": st.integers(4, 64).filter(lambda x: x != BASE.gcell_tracks),
     "max_fanout": st.integers(2, 64).filter(lambda x: x != BASE.max_fanout),
+    "cts_mode": st.just("dual"),
+    "cts_back_fraction": st.floats(0.0, 1.0)
+        .map(lambda x: x + 0.0)
+        .filter(lambda x: x != BASE.cts_back_fraction),
     "activity": st.floats(0.01, 1.0).filter(lambda x: x != BASE.activity),
     "allow_bridging": st.just(True),
     "power_stripe_pitch_cpp": st.integers(4, 64),

@@ -1,0 +1,168 @@
+"""Property-test harness for clock tree synthesis (both modes).
+
+Randomized flop placements drive :func:`synthesize_clock_tree` through
+single- and dual-sided synthesis, and every structural invariant of the
+tree is checked independently of the implementation:
+
+* every sink is driven exactly once (by a clock buffer),
+* the tree is acyclic and rooted at the clock source, covering every
+  inserted buffer,
+* the reported skew equals a recomputed insertion-delay spread,
+* buffer fanout caps are respected,
+* per-side wirelength sums to the total, and matches a geometric
+  recomputation from the reported side assignment.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pnr import Point, synthesize_clock_tree
+from repro.pnr.cts import estimate_insertion_delays
+from repro.pnr.placement import Placement
+from repro.netlist import Netlist
+
+#: Flop coordinates, nm.  Distinct-count >= 2 keeps the tree non-trivial.
+COORDS = st.lists(
+    st.tuples(st.integers(0, 200_000), st.integers(0, 200_000)),
+    min_size=2, max_size=40,
+)
+MODES = st.sampled_from(["single", "dual"])
+FANOUTS = st.integers(2, 12)
+FRACTIONS = st.floats(0.0, 1.0)
+
+
+def _design(coords):
+    """A clock-domain-only netlist: one DFF per coordinate."""
+    netlist = Netlist("cts_prop")
+    netlist.add_net("clk", primary_input=True, clock=True)
+    netlist.add_net("din", primary_input=True)
+    placement = Placement(die=None)
+    for i, (x, y) in enumerate(coords):
+        name = f"ff_{i}"
+        netlist.add_instance(name, "DFFD1",
+                             {"D": "din", "CK": "clk", "Q": f"q_{i}"})
+        placement.locations[name] = Point(float(x), float(y))
+    placement.io_pins["clk"] = Point(0.0, 0.0)
+    return netlist, placement
+
+
+def _star_wirelength_nm(netlist, placement, net_name) -> float:
+    driver_inst, _pin = netlist.nets[net_name].driver
+    src = placement.locations[driver_inst]
+    return sum(
+        abs(src.x_nm - placement.locations[inst].x_nm)
+        + abs(src.y_nm - placement.locations[inst].y_nm)
+        for inst, _p in netlist.nets[net_name].sinks
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(coords=COORDS, mode=MODES, max_fanout=FANOUTS, fraction=FRACTIONS)
+def test_tree_invariants(ffet_lib, coords, mode, max_fanout, fraction):
+    netlist, placement = _design(coords)
+    netlist.bind(ffet_lib)
+    flops = [f"ff_{i}" for i in range(len(coords))]
+
+    report = synthesize_clock_tree(netlist, ffet_lib, placement, "clk",
+                                   max_fanout=max_fanout, mode=mode,
+                                   back_fraction=fraction)
+
+    # 1. Every sink driven exactly once, by a clock buffer.
+    assert report.sinks == len(flops)
+    for flop in flops:
+        appearances = [
+            net.name for net in netlist.nets.values()
+            if (flop, "CK") in net.sinks
+        ]
+        assert len(appearances) == 1, flop
+        driver_inst, _pin = netlist.nets[appearances[0]].driver
+        master = ffet_lib[netlist.instances[driver_inst].master]
+        assert master.function == "CLKBUF"
+
+    # 2. Acyclic, rooted at the clock source, covering every buffer.
+    all_buffers = {n for n in netlist.instances if n.startswith("ctsbuf_")}
+    seen_buffers: set[str] = set()
+    reached_flops: set[str] = set()
+    frontier = ["clk"]
+    visited_nets: set[str] = set()
+    while frontier:
+        net_name = frontier.pop()
+        assert net_name not in visited_nets, "cycle through " + net_name
+        visited_nets.add(net_name)
+        for inst_name, pin_name in netlist.nets[net_name].sinks:
+            inst = netlist.instances[inst_name]
+            if ffet_lib[inst.master].is_sequential:
+                reached_flops.add(inst_name)
+            else:
+                assert inst_name not in seen_buffers, \
+                    f"buffer {inst_name} re-driven"
+                seen_buffers.add(inst_name)
+                frontier.append(inst.connections["Z"])
+    assert seen_buffers == all_buffers
+    assert {netlist.nets[n].driver[0] for n in report.net_sides} \
+        == all_buffers
+    assert reached_flops == set(flops)
+    assert len(all_buffers) == report.buffers
+    assert report.front_buffers + report.back_buffers == report.buffers
+
+    # 3. Reported skew equals the recomputed insertion-delay spread.
+    delays = estimate_insertion_delays(netlist, ffet_lib, placement, "clk",
+                                       net_sides=report.net_sides)
+    assert set(delays) == {(flop, "CK") for flop in flops}
+    spread = max(delays.values()) - min(delays.values())
+    assert abs(spread - report.skew_est_ps) < 1e-9
+    assert abs(report.max_insertion_ps - max(delays.values())) < 1e-9
+    assert abs(report.min_insertion_ps - min(delays.values())) < 1e-9
+    assert report.sink_insertion_ps == delays
+
+    # 4. Fanout caps: leaf nets stay within the budget, trunk nets
+    # drive exactly their two subtree buffers (FANOUTS >= 2 covers both).
+    for net in netlist.nets.values():
+        if net.name.startswith("ctsnet_"):
+            assert len(net.sinks) <= max_fanout
+
+    # 5. Per-side wirelength sums to the total and matches geometry.
+    front = back = 0.0
+    for net_name, side in report.net_sides.items():
+        length = _star_wirelength_nm(netlist, placement, net_name)
+        if side == "back":
+            back += length
+        else:
+            front += length
+    assert abs(front - report.front_wirelength_nm) < 1e-6
+    assert abs(back - report.back_wirelength_nm) < 1e-6
+    assert abs(report.total_wirelength_nm
+               - (report.front_wirelength_nm
+                  + report.back_wirelength_nm)) < 1e-9
+
+    # Mode-specific: single keeps everything frontside.
+    if mode == "single":
+        assert report.back_wirelength_nm == 0.0
+        assert report.back_buffers == 0
+        assert set(report.net_sides.values()) <= {"front"}
+    assert report.mode == mode
+    assert 0.0 <= report.back_fraction <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(coords=COORDS, max_fanout=FANOUTS)
+def test_dual_assignment_only_renames_sides(ffet_lib, coords, max_fanout):
+    """Dual-sided CTS changes *where* clock nets route, never the tree
+    topology: instance set, net set and sink sets match single mode."""
+    single_nl, single_pl = _design(coords)
+    single_nl.bind(ffet_lib)
+    synthesize_clock_tree(single_nl, ffet_lib, single_pl, "clk",
+                          max_fanout=max_fanout, mode="single")
+
+    dual_nl, dual_pl = _design(coords)
+    dual_nl.bind(ffet_lib)
+    synthesize_clock_tree(dual_nl, ffet_lib, dual_pl, "clk",
+                          max_fanout=max_fanout, mode="dual")
+
+    assert set(single_nl.instances) == set(dual_nl.instances)
+    assert set(single_nl.nets) == set(dual_nl.nets)
+    for name, net in single_nl.nets.items():
+        assert sorted(net.sinks) == sorted(dual_nl.nets[name].sinks)
+    assert single_pl.locations == dual_pl.locations

@@ -45,6 +45,8 @@ PERTURBATIONS = {
     "target_frequency_ghz": 2.0,
     "gcell_tracks": 12,
     "max_fanout": 10,
+    "cts_mode": "dual",
+    "cts_back_fraction": 0.25,
     "activity": 0.5,
     "allow_bridging": True,
     "power_stripe_pitch_cpp": 24,

@@ -93,6 +93,26 @@ class TestStageKey:
             assert a[name] == b[name]
         assert a["routing"] != b["routing"]
 
+    @pytest.mark.parametrize("override", [{"cts_mode": "dual"},
+                                          {"cts_back_fraction": 0.25}])
+    def test_cts_fields_first_enter_at_cts(self, override):
+        """The dual-CTS knobs invalidate the cts key and everything
+        after it — and nothing upstream of it."""
+        a, b = _keys(BASE), _keys(BASE.with_(**override))
+        cts_at = FLOW_STAGES.index("cts")
+        for name in FLOW_STAGES[:cts_at]:
+            assert a[name] == b[name], name
+        for name in FLOW_STAGES[cts_at:]:
+            assert a[name] != b[name], name
+
+    def test_cts_fields_in_no_upstream_slice(self):
+        for name in FLOW_STAGES[:FLOW_STAGES.index("cts")]:
+            fields = FLOW_GRAPH.transitive_fields(name)
+            assert "cts_mode" not in fields
+            assert "cts_back_fraction" not in fields
+        assert {"cts_mode", "cts_back_fraction"} <= \
+            FLOW_GRAPH.transitive_fields("cts")
+
     def test_netlist_fingerprint_spares_the_library(self):
         a = stage_keys(BASE, "fp-one", version="v0")
         b = stage_keys(BASE, "fp-two", version="v0")
@@ -257,6 +277,38 @@ class TestLayerSplitSweepReplay:
         assert rates["placement"] == pytest.approx(0.75)
         assert rates["routing"] == 0.0
         assert "stage replays" in runner.stats.summary()
+
+    def test_dual_cts_layer_split_sweep_places_exactly_once(self, tmp_path):
+        """The acceptance property of dual-sided CTS as a config-sliced
+        stage: a layer-split sweep with ``cts_mode="dual"`` still shares
+        the whole library..legalization prefix — placement executes
+        exactly once across the splits."""
+        runner = SweepRunner(jobs=1, cache=FlowCache(tmp_path))
+        configs = [BASE.with_(cts_mode="dual", front_layers=f, back_layers=b)
+                   for f, b in self.SPLITS]
+        results = runner.run_many(FACTORY, configs)
+        assert all(r.valid for r in results)
+        counters = runner.stats.stage_counters
+        for name in PREFIX_STAGES:
+            assert counters.get(f"stage_cache.miss.{name}", 0) == 1, name
+            assert counters.get(f"stage_cache.hit.{name}", 0) == \
+                len(self.SPLITS) - 1, name
+
+    def test_cts_mode_sweep_shares_the_placement_prefix(self, tmp_path):
+        """Flipping only the CTS mode re-runs cts..power and replays
+        library..placement — CTS is the first stage whose key differs."""
+        runner = SweepRunner(jobs=1, cache=FlowCache(tmp_path))
+        configs = [BASE, BASE.with_(cts_mode="dual")]
+        results = runner.run_many(FACTORY, configs)
+        assert all(r.valid for r in results)
+        counters = runner.stats.stage_counters
+        cts_at = FLOW_STAGES.index("cts")
+        for name in FLOW_STAGES[:cts_at]:
+            assert counters.get(f"stage_cache.miss.{name}", 0) == 1, name
+            assert counters.get(f"stage_cache.hit.{name}", 0) == 1, name
+        for name in FLOW_STAGES[cts_at:]:
+            assert counters.get(f"stage_cache.miss.{name}", 0) == 2, name
+            assert counters.get(f"stage_cache.hit.{name}", 0) == 0, name
 
     def test_refreshed_sweep_replays_instead_of_recomputing(self, tmp_path):
         cache = FlowCache(tmp_path)
