@@ -1,0 +1,177 @@
+"""Profile the flow's hot kernels: python reference vs numpy mode.
+
+Runs the cold flow (no result cache, no stage store) under both
+``REPRO_KERNEL`` modes and reports, per stage and per kernel span
+(``kernel.place.field``, ``kernel.route.search``,
+``kernel.extract.elmore``, ``kernel.sta.propagate``):
+
+* **cold** — first run in a fresh interpreter state (imports, numpy
+  warmup and all);
+* **warm** — best of the repeat runs, the steady-state number the
+  sizing/sweep loops actually see.
+
+Both modes must produce bit-identical results (asserted), and the
+numpy mode must not be slower end-to-end than the python reference —
+the script exits nonzero otherwise, which CI uses as a perf-regression
+tripwire (``--smoke`` runs the smaller rv8 core once per mode for
+that).
+
+Writes a report to stdout and ``results/bench_flow_profile.txt``::
+
+    PYTHONPATH=src python scripts/bench_flow_profile.py [--smoke]
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core import kernels                      # noqa: E402
+from repro.core.cache import result_to_payload      # noqa: E402
+from repro.core.config import FlowConfig            # noqa: E402
+from repro.core.flow import run_flow                # noqa: E402
+from repro.core.telemetry import Tracer             # noqa: E402
+from repro.synth import RiscvConfig, generate_riscv_core  # noqa: E402
+
+KERNEL_SPANS = (
+    "kernel.place.field",
+    "kernel.route.search",
+    "kernel.extract.elmore",
+    "kernel.sta.propagate",
+)
+
+
+class RvFactory:
+    """Picklable factory for a scaled-down RISC-V core."""
+
+    def __init__(self, xlen: int) -> None:
+        self.xlen = xlen
+
+    def __call__(self):
+        return generate_riscv_core(RiscvConfig(
+            xlen=self.xlen, nregs=self.xlen, name=f"rv{self.xlen}"))
+
+
+def run_once(factory) -> dict:
+    """One cold flow run; returns timings, kernel spans and the payload."""
+    tracer = Tracer(label="bench")
+    t0 = time.perf_counter()
+    result = run_flow(factory, FlowConfig(), tracer=tracer)
+    total = time.perf_counter() - t0
+    trace = tracer.finish()
+    spans: dict[str, float] = {}
+    for span in trace.spans:
+        if span.name in KERNEL_SPANS:
+            spans[span.name] = spans.get(span.name, 0.0) + \
+                (span.duration_s or 0.0)
+    return {
+        "total": total,
+        "stages": trace.stage_times(),
+        "kernels": spans,
+        "payload": json.dumps(result_to_payload(result), sort_keys=True),
+    }
+
+
+def profile_mode(mode: str, factory, repeats: int) -> dict:
+    """Cold run plus ``repeats`` warm runs; warm numbers are the best."""
+    import os
+    os.environ[kernels.KERNEL_ENV] = mode
+    cold = run_once(factory)
+    warm = cold
+    for _ in range(repeats):
+        run = run_once(factory)
+        if run["total"] < warm["total"]:
+            warm = run
+    return {"cold": cold, "warm": warm}
+
+
+def fmt_table(rows: list[tuple[str, float, float]]) -> list[str]:
+    lines = [f"    {'':28s} {'python':>9s} {'numpy':>9s} {'speedup':>8s}"]
+    for name, py, np_ in rows:
+        ratio = py / np_ if np_ > 0 else float("inf")
+        lines.append(f"    {name:28s} {py:8.3f}s {np_:8.3f}s {ratio:7.2f}x")
+    return lines
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="single rv8 run per mode (the CI tripwire)")
+    args = parser.parse_args()
+
+    xlen = 8 if args.smoke else 16
+    repeats = 1 if args.smoke else 2
+    factory = RvFactory(xlen)
+
+    runs = {mode: profile_mode(mode, factory, repeats)
+            for mode in ("python", "numpy")}
+
+    if runs["python"]["warm"]["payload"] != runs["numpy"]["warm"]["payload"]:
+        print("FAIL: kernel modes disagree on the flow result")
+        return 1
+
+    py_cold, np_cold = (runs[m]["cold"] for m in ("python", "numpy"))
+    py_warm, np_warm = (runs[m]["warm"] for m in ("python", "numpy"))
+
+    lines = [
+        f"flow kernel profile: rv{xlen} cold flow (no caches), "
+        f"python reference vs numpy kernels"
+        f"{' [smoke]' if args.smoke else ''}",
+        f"host: {platform.platform()}, python {platform.python_version()}",
+        "",
+        "[1] end-to-end wall clock",
+        f"    cold: python {py_cold['total']:.2f} s, "
+        f"numpy {np_cold['total']:.2f} s "
+        f"({py_cold['total'] / np_cold['total']:.2f}x)",
+        f"    warm: python {py_warm['total']:.2f} s, "
+        f"numpy {np_warm['total']:.2f} s "
+        f"({py_warm['total'] / np_warm['total']:.2f}x)",
+        "",
+        "[2] per-stage wall clock (warm)",
+    ]
+    stage_rows = [
+        (stage, py_warm["stages"].get(stage, 0.0),
+         np_warm["stages"].get(stage, 0.0))
+        for stage in py_warm["stages"]
+    ]
+    lines += fmt_table(stage_rows)
+    lines += [
+        "",
+        "[3] kernel spans, summed over the flow (warm; the vectorized",
+        "    inner loops themselves, excluding shared model-building)",
+    ]
+    kernel_rows = [
+        (name, py_warm["kernels"].get(name, 0.0),
+         np_warm["kernels"].get(name, 0.0))
+        for name in KERNEL_SPANS
+        if py_warm["kernels"].get(name) or np_warm["kernels"].get(name)
+    ]
+    lines += fmt_table(kernel_rows)
+
+    slower = np_warm["total"] > py_warm["total"]
+    lines += [
+        "",
+        f"    results bit-identical across modes: yes",
+        f"    numpy-not-slower check: "
+        f"{'FAIL' if slower else 'PASS'} "
+        f"(numpy warm {np_warm['total']:.2f} s vs "
+        f"python warm {py_warm['total']:.2f} s)",
+    ]
+
+    report = "\n".join(lines) + "\n"
+    print(report)
+    if not args.smoke:
+        out = REPO / "results" / "bench_flow_profile.txt"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report)
+        print(f"wrote {out}")
+    return 1 if slower else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -126,14 +126,12 @@ class FlowGuard:
             # Bridging rewrites connectivity (new buffer instances take
             # over sinks); the exact-coverage invariant no longer holds.
             return
+        covered: dict[str, list] = {}
+        for (name, _side), sinks in decomposition.side_sinks.items():
+            covered.setdefault(name, []).extend(sinks)
         for net_name, net in netlist.nets.items():
             want = sorted(net.sinks)
-            got = sorted(
-                sink
-                for (name, _side), sinks in decomposition.side_sinks.items()
-                if name == net_name
-                for sink in sinks
-            )
+            got = sorted(covered.get(net_name, ()))
             if want != got:
                 self._violate(
                     "routing",

@@ -41,13 +41,15 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable
 
-from . import telemetry
+from . import kernels, telemetry
 from .cache import FlowCache, code_fingerprint
 from .config import FlowConfig
 
 #: Bumped on stage-key recipe or artifact layout changes; invalidates
 #: every stored stage artifact without touching the result cache.
-STAGE_KEY_FORMAT = 1
+#: 2: the key covers the active ``$REPRO_KERNEL`` mode (the root of the
+#: chain is the stage key itself, so every downstream key inherits it).
+STAGE_KEY_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -155,6 +157,7 @@ def stage_key(stage: Stage, config: FlowConfig,
                    for name in sorted(stage.config_fields)},
         "upstream": list(upstream_keys),
         "netlist": netlist_fp if stage.uses_netlist else None,
+        "kernel": kernels.kernel_mode(),
         "version": version if version is not None else code_fingerprint(),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))

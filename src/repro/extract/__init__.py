@@ -4,11 +4,12 @@ from .extract import (
     VIA_RES_KOHM,
     Extraction,
     congestion_derates,
+    estimate_loads,
     estimate_parasitics,
     extract_design,
     extract_net,
 )
-from .rc import NetParasitics, RCTree
+from .rc import NetParasitics, RCTree, elmore_forest
 from .spef import SpefNet, parse_spef, write_spef
 
 __all__ = [
@@ -17,6 +18,8 @@ __all__ = [
     "RCTree",
     "VIA_RES_KOHM",
     "congestion_derates",
+    "elmore_forest",
+    "estimate_loads",
     "estimate_parasitics",
     "extract_design",
     "extract_net",

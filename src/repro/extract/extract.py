@@ -14,12 +14,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..cells import Library
+from ..core import kernels
+from ..core.telemetry import current_tracer
 from ..lefdef.def_ import DefDesign, RouteSegment
 from ..netlist import Netlist
 from ..pnr.placement import Placement
 from ..tech import Side, Stackup
-from .rc import NetParasitics, RCTree
+from .rc import NetParasitics, RCTree, elmore_forest
 
 #: Resistance of one via cut between adjacent metal levels, kOhm.
 VIA_RES_KOHM = 0.035
@@ -50,26 +54,48 @@ class Extraction:
         return sum(p.wirelength_nm for p in self.nets.values())
 
 
-def _net_pins(netlist: Netlist, library: Library, net_name: str):
-    """Driver (inst, pin) or None, and [(inst, pin, cap_ff)] sinks."""
+def _net_pins(netlist: Netlist, library: Library, net_name: str,
+              cap_memo: dict[tuple[str, str], float] | None = None):
+    """Driver (inst, pin) or None, and [(inst, pin, cap_ff)] sinks.
+
+    ``cap_memo`` caches pin capacitance per (master, pin) across nets
+    of one extraction call — the values are identical either way.
+    """
     net = netlist.nets[net_name]
     sinks = []
     for inst_name, pin_name in net.sinks:
-        master = library[netlist.instances[inst_name].master]
-        sinks.append((inst_name, pin_name, master.pin(pin_name).cap_ff))
+        master_name = netlist.instances[inst_name].master
+        if cap_memo is None:
+            cap = library[master_name].pin(pin_name).cap_ff
+        else:
+            key = (master_name, pin_name)
+            cap = cap_memo.get(key)
+            if cap is None:
+                cap = library[master_name].pin(pin_name).cap_ff
+                cap_memo[key] = cap
+        sinks.append((inst_name, pin_name, cap))
     return net.driver, sinks
 
 
-def extract_net(net_name: str, segments: list[RouteSegment],
-                stackup: Stackup, driver_xy: tuple[float, float] | None,
-                sinks: list[tuple[str, str, float, tuple[float, float]]],
-                rc_scale: float = 1.0) -> NetParasitics:
-    """Extract one net from its routed segments.
+@dataclass
+class _NetBuild:
+    """One net's RC tree plus everything needed to finalize it."""
 
-    ``sinks`` rows are (instance, pin, pin cap, (x, y)).  ``rc_scale``
-    derates wire R and C for congestion (detailed-routing detours and
-    coupling in crowded regions).
-    """
+    net: str
+    tree: RCTree
+    sink_keys: dict[tuple[str, str], tuple]
+    pin_cap_total: float
+    wire_res: float
+    wirelength: float
+    back_wirelength: float
+    via_count: int
+
+
+def _prepare_net(net_name: str, segments: list[RouteSegment],
+                 stackup: Stackup, driver_xy: tuple[float, float] | None,
+                 sinks: list[tuple[str, str, float, tuple[float, float]]],
+                 rc_scale: float = 1.0) -> _NetBuild:
+    """Build one net's RC tree (everything except the Elmore solve)."""
     root = ("root",)
     tree = RCTree(root=root)
 
@@ -96,15 +122,29 @@ def extract_net(net_name: str, segments: list[RouteSegment],
         endpoints.append((seg.x1_nm, seg.y1_nm))
         endpoints.append((seg.x2_nm, seg.y2_nm))
 
-    def nearest(xy: tuple[float, float]):
-        if not endpoints:
-            return None
-        best = min(
-            range(len(endpoints)),
-            key=lambda i: abs(endpoints[i][0] - xy[0]) + abs(endpoints[i][1] - xy[1]),
-        )
-        e = endpoints[best]
-        return (round(e[0]), round(e[1]))
+    if len(endpoints) >= 32 and kernels.use_numpy_kernels():
+        # Vectorized nearest-endpoint search, worthwhile only on nets
+        # with many segments.  ``np.argmin`` returns the first minimum,
+        # exactly like the scalar ``min`` over indices, and the
+        # Manhattan distances are the same IEEE-754 expressions — so
+        # both modes pick the same endpoint at any threshold.
+        ex = np.array([e[0] for e in endpoints])
+        ey = np.array([e[1] for e in endpoints])
+
+        def nearest(xy: tuple[float, float]):
+            best = int(np.argmin(np.abs(ex - xy[0]) + np.abs(ey - xy[1])))
+            e = endpoints[best]
+            return (round(e[0]), round(e[1]))
+    else:
+        def nearest(xy: tuple[float, float]):
+            if not endpoints:
+                return None
+            best = min(
+                range(len(endpoints)),
+                key=lambda i: abs(endpoints[i][0] - xy[0]) + abs(endpoints[i][1] - xy[1]),
+            )
+            e = endpoints[best]
+            return (round(e[0]), round(e[1]))
 
     # Via stack from the pins (M0) up to the routing tier.
     stack_r = VIA_RES_KOHM * max(max_level, 1) if segments else 0.0
@@ -123,26 +163,53 @@ def extract_net(net_name: str, segments: list[RouteSegment],
         sink_keys[(inst, pin)] = key
         via_count += max_level if segments else 0
 
-    delays = tree.elmore_ps()
-    sink_elmore = {}
-    for (inst, pin), key in sink_keys.items():
-        sink_elmore[(inst, pin)] = delays.get(key, 0.0)
-
-    wire_cap = tree.total_cap_ff - pin_cap_total
     wire_res = rc_scale * sum(
         stackup[seg.layer].resistance_kohm_per_um * seg.length_nm / 1000.0
         for seg in segments
     )
-    return NetParasitics(
+    return _NetBuild(
         net=net_name,
-        wire_cap_ff=wire_cap,
-        wire_res_kohm=wire_res,
-        pin_cap_ff=pin_cap_total,
-        sink_elmore_ps=sink_elmore,
-        wirelength_nm=wirelength,
+        tree=tree,
+        sink_keys=sink_keys,
+        pin_cap_total=pin_cap_total,
+        wire_res=wire_res,
+        wirelength=wirelength,
+        back_wirelength=back_wirelength,
         via_count=via_count,
-        back_wirelength_nm=back_wirelength,
     )
+
+
+def _finalize_net(build: _NetBuild, delays: dict) -> NetParasitics:
+    """Turn a built tree plus its Elmore solution into parasitics."""
+    sink_elmore = {}
+    for (inst, pin), key in build.sink_keys.items():
+        sink_elmore[(inst, pin)] = delays.get(key, 0.0)
+    wire_cap = build.tree.total_cap_ff - build.pin_cap_total
+    return NetParasitics(
+        net=build.net,
+        wire_cap_ff=wire_cap,
+        wire_res_kohm=build.wire_res,
+        pin_cap_ff=build.pin_cap_total,
+        sink_elmore_ps=sink_elmore,
+        wirelength_nm=build.wirelength,
+        via_count=build.via_count,
+        back_wirelength_nm=build.back_wirelength,
+    )
+
+
+def extract_net(net_name: str, segments: list[RouteSegment],
+                stackup: Stackup, driver_xy: tuple[float, float] | None,
+                sinks: list[tuple[str, str, float, tuple[float, float]]],
+                rc_scale: float = 1.0) -> NetParasitics:
+    """Extract one net from its routed segments.
+
+    ``sinks`` rows are (instance, pin, pin cap, (x, y)).  ``rc_scale``
+    derates wire R and C for congestion (detailed-routing detours and
+    coupling in crowded regions).
+    """
+    build = _prepare_net(net_name, segments, stackup, driver_xy, sinks,
+                         rc_scale)
+    return _finalize_net(build, build.tree.elmore_ps())
 
 
 def extract_design(merged: DefDesign, netlist: Netlist, library: Library,
@@ -156,8 +223,11 @@ def extract_design(merged: DefDesign, netlist: Netlist, library: Library,
     stackup = library.tech.stackup
     extraction = Extraction()
     rc_derates = rc_derates or {}
+    tracer = current_tracer()
+    cap_memo: dict[tuple[str, str], float] = {}
+    builds: list[_NetBuild] = []
     for net_name in netlist.nets:
-        driver, sink_pins = _net_pins(netlist, library, net_name)
+        driver, sink_pins = _net_pins(netlist, library, net_name, cap_memo)
         if driver is not None:
             p = placement.locations[driver[0]]
             driver_xy = (p.x_nm, p.y_nm)
@@ -169,13 +239,25 @@ def extract_design(merged: DefDesign, netlist: Netlist, library: Library,
             p = placement.locations[inst]
             sinks.append((inst, pin, cap, (p.x_nm, p.y_nm)))
         segments = merged.nets.get(net_name, [])
-        extraction.nets[net_name] = extract_net(
+        builds.append(_prepare_net(
             net_name, segments, stackup, driver_xy, sinks,
             rc_scale=rc_derates.get(net_name, 1.0),
-        )
-    from ..core.telemetry import current_tracer
-    tracer = current_tracer()
+        ))
+    # Elmore solve: one batched forest pass (numpy kernel) or the
+    # per-tree scalar reference — bit-equal either way.
+    with tracer.span("kernel.extract.elmore"):
+        if kernels.use_numpy_kernels():
+            all_delays = elmore_forest(
+                [b.tree for b in builds],
+                wanted=[list(b.sink_keys.values()) for b in builds])
+        else:
+            all_delays = [b.tree.elmore_ps() for b in builds]
+    for build, delays in zip(builds, all_delays):
+        extraction.nets[build.net] = _finalize_net(build, delays)
     if tracer.enabled:
+        tracer.count("kernel.extract.nets", len(builds))
+        tracer.count("kernel.extract.nodes",
+                     sum(len(b.tree.cap_ff) for b in builds))
         tracer.gauge("extract.nets", len(extraction.nets))
         tracer.gauge("extract.derated_nets", len(rc_derates))
         tracer.gauge("extract.total_wire_cap_ff", extraction.total_wire_cap_ff)
@@ -218,8 +300,9 @@ def estimate_parasitics(netlist: Netlist, library: Library,
     fanout-based wireload model is used, like synthesis tools do.
     """
     extraction = Extraction()
+    cap_memo: dict[tuple[str, str], float] = {}
     for net_name, net in netlist.nets.items():
-        driver, sink_pins = _net_pins(netlist, library, net_name)
+        driver, sink_pins = _net_pins(netlist, library, net_name, cap_memo)
         if placement is not None:
             points = placement.net_points(netlist, net_name)
             if len(points) >= 2:
@@ -244,3 +327,31 @@ def estimate_parasitics(netlist: Netlist, library: Library,
             wirelength_nm=length_um * 1000.0,
         )
     return extraction
+
+
+def estimate_loads(netlist: Netlist, library: Library,
+                   cap_per_um_ff: float = 0.22,
+                   fanout_length_um: float = 0.70) -> dict[str, float]:
+    """Driver loads only, under the fanout wireload model.
+
+    Bit-equal to ``estimate_parasitics(netlist, library)[net]
+    .total_cap_ff`` for every net (the same operations in the same
+    order: ``cap_per_um * length + sum(pin caps in sink order)``) but
+    without building any :class:`NetParasitics`.  The sizing loop's
+    overloaded-driver scan needs nothing else, and this is roughly half
+    of its wireload-model cost.
+    """
+    loads: dict[str, float] = {}
+    cap_memo: dict[tuple[str, str], float] = {}
+    for net_name, net in netlist.nets.items():
+        pin_cap = 0.0
+        for inst_name, pin_name in net.sinks:
+            key = (netlist.instances[inst_name].master, pin_name)
+            cap = cap_memo.get(key)
+            if cap is None:
+                cap = library[key[0]].pin(pin_name).cap_ff
+                cap_memo[key] = cap
+            pin_cap += cap
+        length_um = fanout_length_um * max(len(net.sinks), 1)
+        loads[net_name] = cap_per_um_ff * length_um + pin_cap
+    return loads

@@ -2,9 +2,20 @@
 
 Each net is first routed as a Steiner-lite tree (Manhattan MST over its
 terminals, each MST edge realized as the less congested of the two
-L-shapes).  Overflowed nets are then ripped up and rerouted with an
-A*-based maze router whose cost includes present congestion and a
-negotiated-congestion history term, for a fixed number of iterations.
+L-shapes).  Overflowed nets are then ripped up and rerouted with a
+maze router whose cost includes present congestion and a negotiated-
+congestion history term, for a fixed number of iterations.
+
+The maze search is a dual-implementation kernel selected by
+``$REPRO_KERNEL`` (see :mod:`repro.core.kernels`).  Both modes compute
+the *same* shortest-distance field over the net's search box — the
+python reference settles it with a scalar Dijkstra, the numpy kernel
+runs directional min-plus (fast-sweeping) relaxations to the same
+fixed point — and a shared deterministic backtrack turns the field
+into the route.  With strictly positive edge costs the two fixed
+points are bit-identical (every distance is the minimum over paths of
+the left-associated IEEE-754 sum of edge costs), so both modes produce
+identical routes; ``tests/test_kernel_equivalence.py`` pins this.
 
 The result keeps per-net trees (unit gcell edges), so RC extraction can
 build a real RC tree per net, and reports overflow as a DRV count — the
@@ -18,7 +29,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...core import kernels
 from ...core.errors import RoutingError
+from ...core.telemetry import current_tracer
 from ...tech import Side
 from .grid import RoutingGrid
 
@@ -207,8 +220,25 @@ class GlobalRouter:
         return route
 
     # -- maze rerouting -----------------------------------------------------
+    def _cost_fields(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-edge maze costs as dense arrays (same shapes as cap_h/v).
+
+        Bit-compatible with :meth:`_edge_cost`: ``(1.0 + W*h) +
+        P*((u+1)-cap)`` in that exact operation order, with the penalty
+        term only where ``u+1 > cap`` (adding the ``0.0`` branch of the
+        ``where`` preserves the base value exactly).
+        """
+        def one(usage: np.ndarray, cap: np.ndarray,
+                history: np.ndarray) -> np.ndarray:
+            base = 1.0 + HISTORY_WEIGHT * history
+            lack = (usage + 1) - cap
+            return base + np.where(lack > 0, OVERFLOW_PENALTY * lack, 0.0)
+
+        return (one(self.usage_h, self.grid.cap_h, self.history_h),
+                one(self.usage_v, self.grid.cap_v, self.history_v))
+
     def _maze_route(self, spec: NetSpec) -> NetRoute:
-        """Grow a tree from the first terminal to all others with A*.
+        """Grow a tree from the first terminal to all others.
 
         The search is bounded to the net's bounding box plus a detour
         margin, which keeps rip-up-and-reroute fast on large grids.
@@ -220,50 +250,151 @@ class GlobalRouter:
         box = (max(min(xs) - margin, 0), max(min(ys) - margin, 0),
                min(max(xs) + margin, self.grid.cols - 1),
                min(max(ys) + margin, self.grid.rows - 1))
+        # Usage and history are constant for the duration of one maze
+        # route (commits happen outside), so the cost field is too.
+        cost_h, cost_v = self._cost_fields()
         tree_nodes: set[Coord] = {spec.terminals[0]}
         for target in spec.terminals[1:]:
             if target in tree_nodes:
                 continue
-            path = self._astar(tree_nodes, target, box)
+            path = self._wavefront(tree_nodes, target, box, cost_h, cost_v)
             for a, b in zip(path, path[1:]):
                 route.edges.add(_norm_edge(a, b))
             tree_nodes.update(path)
         return route
 
-    def _astar(self, sources: set[Coord], target: Coord,
-               box: tuple[int, int, int, int] | None = None) -> list[Coord]:
-        if box is None:
-            box = (0, 0, self.grid.cols - 1, self.grid.rows - 1)
+    def _wavefront(self, sources: set[Coord], target: Coord,
+                   box: tuple[int, int, int, int],
+                   cost_h: np.ndarray, cost_v: np.ndarray) -> list[Coord]:
+        """Multi-source shortest path inside ``box`` via a distance field.
+
+        Both kernel modes settle the same field (see the module
+        docstring for why the fixed points are bit-identical); the
+        backtrack is shared and deterministic.
+        """
         x0, y0, x1, y1 = box
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("kernel.route.searches")
+            tracer.count("kernel.route.nodes",
+                         (y1 - y0 + 1) * (x1 - x0 + 1))
+        if kernels.use_numpy_kernels():
+            dist = self._dist_field_numpy(sources, box, cost_h, cost_v,
+                                          tracer)
+        else:
+            dist = self._dist_field_python(sources, box, cost_h, cost_v)
+        if not np.isfinite(dist[target[1] - y0, target[0] - x0]):
+            raise RoutingError(f"maze routing failed to reach {target}",
+                               "routing")
+        return self._backtrack(dist, target, box, cost_h, cost_v)
 
-        def heuristic(node: Coord) -> float:
-            return abs(node[0] - target[0]) + abs(node[1] - target[1])
-
-        open_heap = [(heuristic(s), 0.0, s) for s in sources]
-        heapq.heapify(open_heap)
-        best_cost = {s: 0.0 for s in sources}
-        parent: dict[Coord, Coord] = {}
-        while open_heap:
-            _f, g, node = heapq.heappop(open_heap)
-            if node == target:
-                break
-            if g > best_cost.get(node, float("inf")):
+    def _dist_field_python(self, sources: set[Coord],
+                           box: tuple[int, int, int, int],
+                           cost_h: np.ndarray,
+                           cost_v: np.ndarray) -> np.ndarray:
+        """Reference kernel: scalar Dijkstra settled over the whole box."""
+        x0, y0, x1, y1 = box
+        dist = np.full((y1 - y0 + 1, x1 - x0 + 1), np.inf)
+        heap: list[tuple[float, Coord]] = []
+        for c, r in sources:
+            if x0 <= c <= x1 and y0 <= r <= y1:
+                dist[r - y0, c - x0] = 0.0
+                heap.append((0.0, (c, r)))
+        heapq.heapify(heap)
+        while heap:
+            d, (c, r) = heapq.heappop(heap)
+            if d > dist[r - y0, c - x0]:
                 continue
-            c, r = node
             for nxt in ((c + 1, r), (c - 1, r), (c, r + 1), (c, r - 1)):
                 if not (x0 <= nxt[0] <= x1 and y0 <= nxt[1] <= y1):
                     continue
-                ng = g + self._edge_cost(_norm_edge(node, nxt))
-                if ng < best_cost.get(nxt, float("inf")):
-                    best_cost[nxt] = ng
-                    parent[nxt] = node
-                    heapq.heappush(open_heap, (ng + heuristic(nxt), ng, nxt))
-        if target not in best_cost:
-            raise RoutingError(f"maze routing failed to reach {target}",
-                               "routing")
+                if nxt[1] == r:
+                    step = cost_h[r, min(c, nxt[0])]
+                else:
+                    step = cost_v[min(r, nxt[1]), c]
+                nd = d + step
+                if nd < dist[nxt[1] - y0, nxt[0] - x0]:
+                    dist[nxt[1] - y0, nxt[0] - x0] = nd
+                    heapq.heappush(heap, (nd, nxt))
+        return dist
+
+    def _dist_field_numpy(self, sources: set[Coord],
+                          box: tuple[int, int, int, int],
+                          cost_h: np.ndarray, cost_v: np.ndarray,
+                          tracer) -> np.ndarray:
+        """Numpy kernel: directional min-plus sweeps to the fixed point.
+
+        Each pass relaxes whole rows/columns at once in the four sweep
+        directions (the fast-sweeping method); paths with ``k``
+        direction reversals converge within ``k`` passes, so congested
+        detours typically settle in two or three.
+        """
+        x0, y0, x1, y1 = box
+        h = y1 - y0 + 1
+        w = x1 - x0 + 1
+        dist = np.full((h, w), np.inf)
+        for c, r in sources:
+            if x0 <= c <= x1 and y0 <= r <= y1:
+                dist[r - y0, c - x0] = 0.0
+        ch = cost_h[y0:y1 + 1, x0:x1]    # (h, w - 1)
+        cv = cost_v[y0:y1, x0:x1 + 1]    # (h - 1, w)
+        sweeps = 0
+        while True:
+            before = dist.copy()
+            for c in range(1, w):        # west -> east
+                np.minimum(dist[:, c], dist[:, c - 1] + ch[:, c - 1],
+                           out=dist[:, c])
+            for c in range(w - 2, -1, -1):   # east -> west
+                np.minimum(dist[:, c], dist[:, c + 1] + ch[:, c],
+                           out=dist[:, c])
+            for r in range(1, h):        # south -> north
+                np.minimum(dist[r], dist[r - 1] + cv[r - 1],
+                           out=dist[r])
+            for r in range(h - 2, -1, -1):   # north -> south
+                np.minimum(dist[r], dist[r + 1] + cv[r],
+                           out=dist[r])
+            sweeps += 1
+            if np.array_equal(before, dist):
+                break
+        if tracer.enabled:
+            tracer.count("kernel.route.sweeps", sweeps)
+        return dist
+
+    def _backtrack(self, dist: np.ndarray, target: Coord,
+                   box: tuple[int, int, int, int],
+                   cost_h: np.ndarray, cost_v: np.ndarray) -> list[Coord]:
+        """Walk the settled field from ``target`` back to a source.
+
+        Deterministic in both kernel modes: neighbors are probed in a
+        fixed order and accepted on *exact* float equality ``dist[u] +
+        cost == dist[v]`` — always satisfiable at the fixed point, and
+        strictly decreasing, so the walk terminates at a zero-distance
+        source.
+        """
+        x0, y0, x1, y1 = box
         path = [target]
-        while path[-1] in parent:
-            path.append(parent[path[-1]])
+        node = target
+        while dist[node[1] - y0, node[0] - x0] != 0.0:
+            c, r = node
+            here = dist[r - y0, c - x0]
+            for nxt in ((c + 1, r), (c - 1, r), (c, r + 1), (c, r - 1)):
+                if not (x0 <= nxt[0] <= x1 and y0 <= nxt[1] <= y1):
+                    continue
+                there = dist[nxt[1] - y0, nxt[0] - x0]
+                if not np.isfinite(there):
+                    continue
+                if nxt[1] == r:
+                    step = cost_h[r, min(c, nxt[0])]
+                else:
+                    step = cost_v[min(r, nxt[1]), c]
+                if there + step == here:
+                    node = nxt
+                    path.append(node)
+                    break
+            else:  # pragma: no cover - fixed-point invariant violated
+                raise RoutingError(
+                    f"backtrack stuck at {node} routing to {target}",
+                    "routing")
         return list(reversed(path))
 
     # -- top level ------------------------------------------------------------
@@ -280,30 +411,32 @@ class GlobalRouter:
             routes[spec.name] = route
         spec_by_name = {s.name: s for s in specs}
 
+        tracer = current_tracer()
         iterations = 0
-        for iteration in range(self.rrr_iterations):
-            overflow_edges = self._overflowed_edges()
-            if not overflow_edges:
-                break
-            if iteration >= 2 and len(overflow_edges) > 100:
-                # Hopelessly over capacity: the run is invalid whatever
-                # further negotiation does; do not burn minutes on it.
-                iterations = iteration
-                break
-            iterations = iteration + 1
-            self.history_h += np.maximum(self.usage_h - self.grid.cap_h, 0) * 0.5
-            self.history_v += np.maximum(self.usage_v - self.grid.cap_v, 0) * 0.5
-            victims = [
-                name for name, route in routes.items()
-                if route.edges & overflow_edges
-            ]
-            # Longest victims reroute first: they have the most detours.
-            victims.sort(key=lambda n: -len(routes[n].edges))
-            for name in victims:
-                self._commit(routes[name].edges, -1)
-                new_route = self._maze_route(spec_by_name[name])
-                self._commit(new_route.edges, +1)
-                routes[name] = new_route
+        with tracer.span("kernel.route.search"):
+            for iteration in range(self.rrr_iterations):
+                overflow_edges = self._overflowed_edges()
+                if not overflow_edges:
+                    break
+                if iteration >= 2 and len(overflow_edges) > 100:
+                    # Hopelessly over capacity: the run is invalid whatever
+                    # further negotiation does; do not burn minutes on it.
+                    iterations = iteration
+                    break
+                iterations = iteration + 1
+                self.history_h += np.maximum(self.usage_h - self.grid.cap_h, 0) * 0.5
+                self.history_v += np.maximum(self.usage_v - self.grid.cap_v, 0) * 0.5
+                victims = [
+                    name for name, route in routes.items()
+                    if route.edges & overflow_edges
+                ]
+                # Longest victims reroute first: they have the most detours.
+                victims.sort(key=lambda n: -len(routes[n].edges))
+                for name in victims:
+                    self._commit(routes[name].edges, -1)
+                    new_route = self._maze_route(spec_by_name[name])
+                    self._commit(new_route.edges, +1)
+                    routes[name] = new_route
 
         over_h = np.maximum(self.usage_h - self.grid.cap_h, 0)
         over_v = np.maximum(self.usage_v - self.grid.cap_v, 0)
@@ -317,8 +450,6 @@ class GlobalRouter:
             usage_h=self.usage_h,
             usage_v=self.usage_v,
         )
-        from ...core.telemetry import current_tracer
-        tracer = current_tracer()
         if tracer.enabled:
             side = self.grid.side.value
             tracer.gauge(f"route.{side}.nets", len(routes))

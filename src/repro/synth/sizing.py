@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cells import Library
-from ..extract import estimate_parasitics
+from ..extract import estimate_loads, estimate_parasitics
 from ..netlist import Netlist
 from ..sta import TimingReport, analyze_timing
 
@@ -118,17 +118,19 @@ def size_for_target(netlist: Netlist, library: Library,
                     _upsize(netlist, library, inst_name):
                 upsized += 1
                 progressed = True
-        # Also upsize overloaded drivers anywhere in the design.
-        extraction = estimate_parasitics(netlist, library)
+        # Also upsize overloaded drivers anywhere in the design.  Only
+        # the driver loads matter here, so skip the full parasitics
+        # build (estimate_loads is bit-equal on total_cap_ff).
+        loads = estimate_loads(netlist, library)
         for inst in list(netlist.instances.values()):
             master = library[inst.master]
             outs = master.output_pins
             if not outs:
                 continue
             out_net = inst.connections.get(outs[0].name)
-            if out_net is None or out_net not in extraction:
+            if out_net is None or out_net not in loads:
                 continue
-            load = extraction[out_net].total_cap_ff
+            load = loads[out_net]
             if load > 3.0 * master.drive and _upsize(netlist, library,
                                                      inst.name):
                 upsized += 1

@@ -10,12 +10,14 @@ SweepRunner/FlowCache subsystem safe to put under every sweep.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
 from repro.core import FlowCache, SweepRunner, Tracer
 from repro.core.cache import result_from_payload, result_to_payload
 from repro.core.flow import FLOW_STAGES, run_flow
+from repro.core.kernels import KERNEL_ENV, KERNEL_MODES
 from repro.core.sweeps import try_run
 
 from .golden_cases import CASES, GOLDEN_PATH, MultiplierFactory
@@ -34,6 +36,23 @@ def test_golden_covers_every_case(golden):
 
 @pytest.mark.parametrize("name", sorted(CASES))
 def test_serial_path_matches_golden(golden, name):
+    factory, config = CASES[name]
+    result = try_run(factory, config)
+    assert result_to_payload(result) == golden[name]
+
+
+@pytest.mark.parametrize("mode", KERNEL_MODES)
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_both_kernel_modes_match_golden(golden, name, mode, monkeypatch):
+    """Each ``REPRO_KERNEL`` mode reproduces the pinned numbers exactly.
+
+    The kernels are operation-order compatible (docs/performance.md),
+    so the pinned tolerance is zero: a payload that differs in any bit
+    fails.  A deliberate kernel change that moves the numbers must
+    re-pin via ``scripts/make_golden.py`` — under *numpy* kernels, the
+    default — and both modes must land on the new fixture together.
+    """
+    monkeypatch.setenv(KERNEL_ENV, mode)
     factory, config = CASES[name]
     result = try_run(factory, config)
     assert result_to_payload(result) == golden[name]
