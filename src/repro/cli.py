@@ -95,6 +95,11 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="result cache directory (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="byte quota for the cache directory; exceeding "
+                             "it evicts least-recently-used entries "
+                             "(default: $REPRO_CACHE_MAX_BYTES or unbounded)")
     parser.add_argument("--trace", metavar="DIR", default=None,
                         help="write one per-stage telemetry trace (JSONL) "
                              "per run into DIR; inspect with "
@@ -145,7 +150,8 @@ def _runner_from(args) -> SweepRunner:
         retry = dataclasses.replace(retry, **patch)
     cache = None
     if not getattr(args, "no_cache", False):
-        cache = FlowCache(getattr(args, "cache_dir", None))
+        cache = FlowCache(getattr(args, "cache_dir", None),
+                          max_bytes=getattr(args, "cache_max_bytes", None))
     return SweepRunner(jobs=getattr(args, "jobs", None), cache=cache,
                        trace_dir=getattr(args, "trace", None),
                        retry=retry,
@@ -256,7 +262,8 @@ def _run_partial(args) -> int:
     from .core import StageStore, Tracer
     from .core.flow import run_flow
     config = _config_from(args)
-    cache = None if args.no_cache else FlowCache(args.cache_dir)
+    cache = None if args.no_cache else FlowCache(
+        args.cache_dir, max_bytes=getattr(args, "cache_max_bytes", None))
     store = StageStore(cache) if cache is not None else None
     tracer = Tracer(label=config.label) if args.trace else None
     artifacts = run_flow(_factory_from(args), config,
@@ -424,7 +431,8 @@ def cmd_mc(args) -> int:
                             signoff)
     factory = _factory_from(args)
     config = _config_from(args)
-    cache = None if args.no_cache else FlowCache(args.cache_dir)
+    cache = None if args.no_cache else FlowCache(
+        args.cache_dir, max_bytes=getattr(args, "cache_max_bytes", None))
     model = VariationModel.for_arch(config.arch,
                                     overlay_sigma_nm=args.overlay_sigma,
                                     cd_sigma=args.cd_sigma,
@@ -470,10 +478,13 @@ def cmd_mc(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    cache = FlowCache(args.cache_dir)
+    cache = FlowCache(args.cache_dir,
+                      max_bytes=getattr(args, "cache_max_bytes", None))
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.directory}")
+    elif args.action == "fsck":
+        return _cache_fsck(args, cache)
     elif getattr(args, "json", False):
         print(json.dumps(cache.info(), indent=2, sort_keys=True))
     else:
@@ -488,10 +499,46 @@ def cmd_cache(args) -> int:
         if info["blob_entries"]:
             print(f"cached artifact blobs: {info['blob_entries']} "
                   f"({info['blob_bytes'] / 1024:.1f} KiB)")
+        if info["max_bytes"]:
+            print(f"byte quota: {info['max_bytes'] / 1024:.1f} KiB "
+                  "(least-recently-used entries evicted past it)")
+        if info["live_locks"] or info["stale_locks"]:
+            print(f"locks: {info['live_locks']} live, "
+                  f"{info['stale_locks']} stale")
         if info["stale_tmp_files"]:
             print(f"stale tmp files: {info['stale_tmp_files']} "
                   "(from writers that died mid-put; "
                   "'repro cache clear' removes them)")
+    return 0
+
+
+def _cache_fsck(args, cache) -> int:
+    """``repro cache fsck [--repair] [--json]``.
+
+    Exit 0 when the store is clean (or every defect was repaired),
+    1 when defects remain — scriptable like filesystem fsck.
+    """
+    report = cache.fsck(repair=getattr(args, "repair", False))
+    defects = report["defects"]
+    unrepaired = [d for d in defects if not d.get("repaired")]
+    if getattr(args, "json", False):
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if not unrepaired else 1
+    print(f"cache directory: {report['directory']}")
+    print(f"checked: {report['entries']} results, {report['blobs']} blobs, "
+          f"{report['live_locks']} live locks")
+    if not defects:
+        print("clean: no defects found")
+        return 0
+    for d in defects:
+        state = "repaired" if d.get("repaired") else "DEFECT"
+        print(f"{state}: {d['kind']} {d['path']} ({d['detail']})")
+    if unrepaired:
+        hint = "" if getattr(args, "repair", False) \
+            else "; rerun with --repair to remove them"
+        print(f"{len(unrepaired)} defect(s) remain{hint}")
+        return 1
+    print(f"repaired {report['repaired']} defect(s)")
     return 0
 
 
@@ -631,19 +678,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: "
                         "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="byte quota for the cache directory (default: "
+                        "$REPRO_CACHE_MAX_BYTES or unbounded)")
     p.add_argument("--trace", metavar="DIR", default=None,
                    help="write the study's telemetry trace (JSONL) into DIR")
     p.add_argument("--keep-going", action="store_true",
                    help="exit 0 even when some samples were quarantined")
     p.set_defaults(func=cmd_mc)
 
-    p = sub.add_parser("cache", help="inspect or clear the flow result cache")
-    p.add_argument("action", choices=("info", "clear"))
+    p = sub.add_parser("cache",
+                       help="inspect, audit or clear the flow result cache")
+    p.add_argument("action", choices=("info", "clear", "fsck"))
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: $REPRO_CACHE_DIR "
                         "or ~/.cache/repro)")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="byte quota reported by 'info' (default: "
+                        "$REPRO_CACHE_MAX_BYTES or unbounded)")
+    p.add_argument("--repair", action="store_true",
+                   help="with fsck: delete every defective file found "
+                        "(corrupt entries/blobs, stale tmp files and locks)")
     p.add_argument("--json", action="store_true",
-                   help="print the cache summary as JSON "
+                   help="print the cache summary / fsck report as JSON "
                         "(see docs/observability.md for the schema)")
     p.set_defaults(func=cmd_cache)
 

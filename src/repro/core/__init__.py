@@ -27,6 +27,8 @@ _LAZY = {
     "RunTimeout": ".errors",
     "TransientError": ".errors",
     "FaultPlan": ".faults",
+    "FileLock": ".locking",
+    "LockManager": ".locking",
     "FLOW_GRAPH": ".flow",
     "FLOW_STAGES": ".flow",
     "FlowArtifacts": ".flow",
@@ -35,6 +37,7 @@ _LAZY = {
     "stage_keys": ".flow",
     "Stage": ".stages",
     "StageGraph": ".stages",
+    "StageLease": ".stages",
     "StageStore": ".stages",
     "stage_key": ".stages",
     "FlowGuard": ".guard",

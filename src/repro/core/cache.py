@@ -21,12 +21,33 @@ equality, bit-for-bit floats).  The directory defaults to
 ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.  ``FlowCache.clear()`` and
 ``repro cache clear`` are the explicit invalidation paths; passing
 ``cache=None`` to the runner (CLI ``--no-cache``) bypasses it entirely.
+
+The store is safe for concurrent multi-process use (docs/robustness.md
+"Concurrency & integrity"):
+
+* every write is **atomic and durable** — a collision-proof tmp file
+  (pid + per-process counter) is fsynced, renamed over the final path,
+  and the parent directory is fsynced, so a crash can never leave a
+  torn entry where a reader looks;
+* stale tmp files and stale locks from dead writers are **swept at
+  store open** (first get/put), not just on ``clear`` — counted as
+  ``cache.swept_tmp`` / ``cache.swept_locks``;
+* growth is **bounded** by ``$REPRO_CACHE_MAX_BYTES`` (or the
+  ``max_bytes`` argument / CLI ``--cache-max-bytes``): when the store
+  exceeds the quota, least-recently-used entries are evicted (every
+  hit bumps the entry's mtime, making mtimes an access journal) —
+  except entries pinned by a live single-flight lock
+  (:mod:`repro.core.locking`);
+* :meth:`FlowCache.fsck` (CLI ``repro cache fsck``) audits the whole
+  tree — checksums, truncated blobs, orphans, lock liveness — and can
+  repair it in place.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import time
@@ -35,12 +56,24 @@ from pathlib import Path
 from ..netlist import Netlist
 from ..power import PowerReport
 from ..sta import TimingReport
-from . import kernels, telemetry
+from . import faults as faults_mod
+from . import kernels, locking, telemetry
 from .config import FlowConfig
 from .ppa import FailedRun, PPAResult
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable bounding the store's on-disk size in bytes
+#: (unset or non-positive = unbounded).
+MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+#: Age past which a tmp file whose writer pid cannot be parsed is
+#: considered abandoned and swept.
+TMP_GRACE_S = 3600.0
+
+#: Collision-proof suffix source for same-pid concurrent writers.
+_tmp_counter = itertools.count()
 
 #: FlowConfig fields that never influence the flow's outcome and are
 #: therefore excluded from the cache key.
@@ -61,6 +94,18 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro"
+
+
+def default_max_bytes() -> int | None:
+    """The byte quota from ``$REPRO_CACHE_MAX_BYTES`` (None = unbounded)."""
+    raw = os.environ.get(MAX_BYTES_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(float(raw))
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def config_cache_fields(config: FlowConfig) -> dict:
@@ -158,19 +203,35 @@ def result_from_payload(payload: dict) -> PPAResult | FailedRun:
 class FlowCache:
     """Content-addressed store of flow results on disk.
 
-    Thread/process safe for concurrent writers via atomic rename;
-    corrupt or unreadable entries behave as misses.
+    Thread/process safe for concurrent writers via fsynced atomic
+    rename; corrupt or unreadable entries behave as misses.  See the
+    module docstring for the concurrency, durability and quota story.
     """
 
     def __init__(self, directory: str | os.PathLike | None = None,
-                 version: str | None = None) -> None:
+                 version: str | None = None,
+                 max_bytes: int | None = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
         self.version = version
+        #: Byte quota (None = unbounded); non-positive means unbounded.
+        resolved = max_bytes if max_bytes is not None else default_max_bytes()
+        self.max_bytes = resolved if resolved and resolved > 0 else None
         self.hits = 0
         self.misses = 0
         #: Entries found damaged (checksum mismatch, unparseable) and
         #: deleted; also counted as ``cache.corrupt`` on the trace.
         self.corrupt = 0
+        #: Stale tmp files / stale locks swept at store open.
+        self.swept_tmp = 0
+        self.swept_locks = 0
+        #: Entries evicted to stay under the byte quota.
+        self.evictions = 0
+        self._opened = False
+
+    @property
+    def locks(self) -> locking.LockManager:
+        """The store's lock namespace (``<cache-dir>/locks``)."""
+        return locking.LockManager(self.directory / "locks")
 
     def key_for(self, config: FlowConfig, netlist_fp: str) -> str:
         return cache_key(config, netlist_fp, version=self.version)
@@ -178,7 +239,99 @@ class FlowCache:
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
 
+    # -- durability and hygiene ---------------------------------------------
+    def _atomic_write(self, path: Path, data: bytes, fault_point: str,
+                      key: str) -> None:
+        """Write ``data`` to ``path`` atomically and durably.
+
+        The tmp name carries pid plus a per-process counter, so
+        same-pid concurrent threads can never collide; the tmp file is
+        fsynced before the rename and the parent directory after it,
+        so a crash leaves either the old entry or the new one — never
+        a torn file.  An active ``corrupt`` fault clause at
+        ``fault_point`` simulates exactly that torn write instead.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        clause = faults_mod.cache_clause(fault_point, key)
+        if clause is not None and clause.mode == "corrupt":
+            # Injected torn write: half the payload lands at the final
+            # path with no rename, as if the writer crashed mid-write
+            # on a filesystem without atomic-rename discipline.
+            path.write_bytes(data[:max(1, len(data) // 2)])
+            return
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{next(_tmp_counter)}")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            locking.fsync_file(handle.fileno())
+        tmp.replace(path)
+        locking.fsync_dir(path.parent)
+
+    @staticmethod
+    def _tmp_is_stale(path: Path) -> bool:
+        """Whether a tmp file's writer is provably gone.
+
+        Tmp names end in ``.tmp.<pid>[.<counter>]``; a live pid means a
+        writer may still be mid-put, so the file is left alone.  Names
+        without a parseable pid fall back to an age check.
+        """
+        name = path.name
+        tail = name.rsplit(".tmp.", 1)[-1] if ".tmp." in name else ""
+        try:
+            pid = int(tail.split(".")[0])
+        except ValueError:
+            pid = None
+        if pid is not None:
+            return not locking.pid_alive(pid)
+        try:
+            return time.time() - path.stat().st_mtime > TMP_GRACE_S
+        except OSError:
+            return False
+
+    def _all_tmp_files(self):
+        yield from self._stale_tmp_files()
+        blobs = self.directory / "blobs"
+        if blobs.is_dir():
+            yield from blobs.glob("*/??/*.tmp.*")
+
+    def _ensure_open(self) -> None:
+        """First-use hygiene: sweep dead writers' tmp files and stale
+        locks, so crash debris is cleaned the next time the store is
+        *used*, not only when someone runs ``cache clear``."""
+        if self._opened:
+            return
+        self._opened = True
+        if not self.directory.is_dir():
+            return
+        tracer = telemetry.current_tracer()
+        swept = 0
+        for path in list(self._all_tmp_files()):
+            if not self._tmp_is_stale(path):
+                continue
+            try:
+                path.unlink()
+                swept += 1
+            except OSError:
+                pass
+        if swept:
+            self.swept_tmp += swept
+            tracer.count("cache.swept_tmp", swept)
+        swept_locks = self.locks.sweep_stale()
+        if swept_locks:
+            self.swept_locks += swept_locks
+            tracer.count("cache.swept_locks", swept_locks)
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Bump an entry's mtime: the access journal LRU eviction reads."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # racing eviction: the read below already succeeded
+
     def get(self, key: str) -> PPAResult | FailedRun | None:
+        self._ensure_open()
         path = self._path(key)
         tracer = telemetry.current_tracer()
         try:
@@ -204,6 +357,7 @@ class FlowCache:
             tracer.count("cache.misses")
             return None
         self.hits += 1
+        self._touch(path)
         # A hit replaces an entire flow run: record it as a zero-cost
         # span so sweep traces still account for every configuration.
         tracer.count("cache.hits")
@@ -211,16 +365,15 @@ class FlowCache:
         return result
 
     def put(self, key: str, result: PPAResult | FailedRun) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        self._ensure_open()
         payload = result_to_payload(result)
         payload["checksum"] = payload_checksum(payload)
         payload["key"] = key
         payload["label"] = result.label
         payload["created"] = time.time()
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)
+        self._atomic_write(self._path(key), json.dumps(payload).encode(),
+                           "cache.put", key)
+        self._enforce_quota()
 
     # -- pickle blob sidecar -------------------------------------------------
     # Larger-than-JSON payloads keyed by the same content-addressed
@@ -234,6 +387,7 @@ class FlowCache:
     def get_blob(self, key: str, kind: str):
         """Unpickle a stored blob; None on miss or damage (then deleted)."""
         import pickle
+        self._ensure_open()
         path = self._blob_path(key, kind)
         tracer = telemetry.current_tracer()
         try:
@@ -252,21 +406,21 @@ class FlowCache:
                 pass
             tracer.count("cache.blob_misses")
             return None
+        self._touch(path)
         tracer.count("cache.blob_hits")
         return obj
 
     def put_blob(self, key: str, kind: str, obj) -> bool:
         """Pickle ``obj`` under ``key``; False when it cannot be stored."""
         import pickle
+        self._ensure_open()
         try:
             blob = pickle.dumps(obj)
         except Exception:
             return False
-        path = self._blob_path(key, kind)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(blob)
-        tmp.replace(path)
+        self._atomic_write(self._blob_path(key, kind), blob,
+                           "cache.put_blob", key)
+        self._enforce_quota()
         return True
 
     def _blob_files(self):
@@ -274,6 +428,145 @@ class FlowCache:
         if not blobs.is_dir():
             return
         yield from blobs.glob("*/??/*.pkl")
+
+    # -- bounded growth ------------------------------------------------------
+    def _payload_files(self):
+        """Every quota-accounted file: (path, key, size, mtime)."""
+        if not self.directory.is_dir():
+            return
+        for path in itertools.chain(self.directory.glob("??/*.json"),
+                                    self._blob_files()):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # racing eviction/invalidation: skip
+            yield path, path.stem, stat.st_size, stat.st_mtime
+
+    def _enforce_quota(self) -> None:
+        """Evict least-recently-used entries down to the byte quota.
+
+        mtimes are the access journal (bumped on every hit), so sorting
+        by mtime *is* LRU.  Keys pinned by a live single-flight lock are
+        never evicted — a waiter may be about to load them.  An
+        ``cache.evict:corrupt`` fault clause treats the quota as zero
+        for one pass, stress-testing readers racing mass eviction.
+        """
+        limit = self.max_bytes
+        clause = faults_mod.cache_clause("cache.evict")
+        if clause is not None and clause.mode == "corrupt":
+            limit = 0
+        if limit is None:
+            return
+        census = list(self._payload_files())
+        total = sum(size for _, _, size, _ in census)
+        if total <= limit:
+            return
+        pinned = self.locks.live_keys()
+        evicted = evicted_bytes = 0
+        for path, key, size, _ in sorted(census, key=lambda row: row[3]):
+            if total <= limit:
+                break
+            if key in pinned:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue  # another process evicted it first
+            total -= size
+            evicted += 1
+            evicted_bytes += size
+        if evicted:
+            self.evictions += evicted
+            tracer = telemetry.current_tracer()
+            tracer.count("cache.evicted", evicted)
+            tracer.count("cache.evicted_bytes", evicted_bytes)
+
+    # -- integrity audit -----------------------------------------------------
+    def fsck(self, repair: bool = False) -> dict:
+        """Audit the whole store; optionally repair it in place.
+
+        Checks, in order: every JSON entry parses and matches both its
+        checksum and its content-addressed filename (a mismatch is an
+        ``orphan`` — the file can never be hit under its own name);
+        every pickle blob unpickles (truncated payloads from torn
+        writes fail here); stale tmp files; stale locks (including
+        stolen-aside leftovers).  Does *not* sweep or mutate anything
+        unless ``repair=True`` — a plain fsck is a safe read-only
+        audit even while sweeps are running.
+        """
+        import pickle
+        defects: list[dict] = []
+        entries = blobs = 0
+
+        def defect(kind: str, path: Path, detail: str) -> None:
+            defects.append({"kind": kind, "path": str(path),
+                            "detail": detail})
+
+        if self.directory.is_dir():
+            for path in self.directory.glob("??/*.json"):
+                entries += 1
+                try:
+                    payload = json.loads(path.read_text())
+                    stored = payload.get("checksum")
+                    if stored is not None and \
+                            stored != payload_checksum(payload):
+                        raise ValueError("checksum mismatch")
+                    result_from_payload(payload)
+                except OSError:
+                    continue  # deleted mid-scan: not a defect
+                except (ValueError, KeyError, TypeError) as exc:
+                    defect("corrupt_entry", path, str(exc))
+                    continue
+                recorded = payload.get("key")
+                if recorded is not None and recorded != path.stem:
+                    defect("orphan", path,
+                           f"payload key {recorded[:12]}… does not match "
+                           "filename")
+        for path in self._blob_files():
+            blobs += 1
+            try:
+                pickle.loads(path.read_bytes())
+            except OSError:
+                continue
+            except Exception as exc:
+                defect("corrupt_blob", path,
+                       f"{type(exc).__name__}: truncated or damaged pickle")
+        for path in self._all_tmp_files():
+            if self._tmp_is_stale(path):
+                defect("stale_tmp", path, "writer is no longer alive")
+        locks = self.locks
+        live = 0
+        for path in locks._lock_files():
+            lock = locking.FileLock(path)
+            if lock.is_stale():
+                owner = lock.owner()
+                detail = (f"holder pid {owner.pid} is dead"
+                          if owner else "unreadable and past grace")
+                defect("stale_lock", path, detail)
+            else:
+                live += 1
+        if locks.directory.is_dir():
+            for path in locks.directory.glob(f"*{locking.STEAL_SUFFIX}.*"):
+                defect("stale_lock", path, "stolen-aside leftover")
+
+        repaired = 0
+        if repair:
+            for item in defects:
+                try:
+                    Path(item["path"]).unlink()
+                    repaired += 1
+                    item["repaired"] = True
+                except OSError:
+                    item["repaired"] = False
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "blobs": blobs,
+            "live_locks": live,
+            "defects": defects,
+            "repaired": repaired,
+            "clean": not defects,
+        }
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry; returns whether it existed."""
@@ -313,6 +606,7 @@ class FlowCache:
                     removed += 1
                 except OSError:
                     pass
+            removed += self.locks.clear()
         return removed
 
     def __len__(self) -> int:
@@ -349,6 +643,7 @@ class FlowCache:
                 continue
             blob_entries += 1
             blob_bytes += stat.st_size
+        live_locks, stale_locks = self.locks.survey()
         return {
             "directory": str(self.directory),
             "exists": self.directory.is_dir(),
@@ -359,4 +654,7 @@ class FlowCache:
             "stale_tmp_files": sum(1 for _ in self._stale_tmp_files()),
             "blob_entries": blob_entries,
             "blob_bytes": blob_bytes,
+            "max_bytes": self.max_bytes,
+            "live_locks": live_locks,
+            "stale_locks": stale_locks,
         }

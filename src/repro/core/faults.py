@@ -33,9 +33,24 @@ stage, config identity, attempt), so a given sweep always injects the
 same faults into the same runs — failures are reproducible, and
 retries of rate-gated transient faults can legitimately succeed.
 
-When any fault plan is active the sweep runner bypasses the result
-cache entirely, so injected failures and corrupted outputs can never
-poison real cached results.
+When any *flow* fault plan is active the sweep runner bypasses the
+result cache entirely, so injected failures and corrupted outputs can
+never poison real cached results.
+
+Beyond the flow stages, the store's own failure paths are injectable
+at the :data:`CACHE_POINTS` (see docs/robustness.md)::
+
+    cache.put:corrupt        # torn write: a truncated entry lands on disk
+    cache.put_blob:corrupt   # torn write on the pickle blob sidecar
+    cache.evict:corrupt      # evict-race: quota treated as zero, every
+                             # unpinned entry evicted under live readers
+    lock.acquire:die         # lock-holder death: the process exits hard
+                             # right after winning a single-flight lease
+
+Cache-point clauses deliberately do **not** disable the cache (they
+exist to exercise it); the rate draw uses the store key as the
+identity, so they are just as deterministic as flow faults.  ``*``
+never matches a cache point.
 """
 
 from __future__ import annotations
@@ -56,6 +71,17 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 #: Recognized fault modes.
 MODES = ("raise", "fatal", "hang", "corrupt", "die")
+
+#: Injectable non-flow fault points inside the artifact store.  These
+#: target the cache's own recovery paths, so (unlike flow stages) an
+#: active cache-point clause does not bypass the cache.
+CACHE_POINTS = ("cache.put", "cache.put_blob", "cache.evict",
+                "lock.acquire")
+
+
+def is_cache_point(stage: str) -> bool:
+    """Whether a clause targets the store rather than a flow stage."""
+    return stage.startswith(("cache.", "lock."))
 
 #: Exit code of a worker killed by a ``die`` fault (mimics a hard
 #: crash: no exception, no cleanup — the pool just loses the process).
@@ -158,6 +184,12 @@ class FaultPlan:
     def active(self) -> bool:
         return bool(self.clauses)
 
+    @property
+    def flow_active(self) -> bool:
+        """Whether any clause targets a *flow* stage (cache clauses
+        never bypass the result cache or the stage store)."""
+        return any(not is_cache_point(c.stage) for c in self.clauses)
+
     def clause_for(self, stage: str, config: "FlowConfig",
                    attempt: int | None = None) -> FaultClause | None:
         """The first clause that fires for this stage of this run."""
@@ -183,8 +215,40 @@ def plan_from_env() -> FaultPlan:
 
 
 def faults_active() -> bool:
-    """Cheap check used by the runner to decide on cache bypass."""
-    return bool(os.environ.get(FAULTS_ENV, "").strip())
+    """Whether any *flow* fault clause is active (cache-bypass check).
+
+    Cache-point clauses (``cache.*`` / ``lock.*``) do not count: they
+    exist to exercise the store, so the store must stay attached while
+    they fire.
+    """
+    spec = os.environ.get(FAULTS_ENV, "").strip()
+    if not spec:
+        return False
+    try:
+        return FaultPlan.from_spec(spec).flow_active
+    except ValueError:
+        return True  # malformed spec: fail safe, bypass the cache
+
+
+def cache_clause(point: str, identity: str = "") -> FaultClause | None:
+    """The active clause targeting one store fault point, if any.
+
+    Exact-name match only (``*`` never reaches into the store); the
+    rate draw keys on the store key so injection is deterministic per
+    entry, like flow faults are per run.
+    """
+    spec = os.environ.get(FAULTS_ENV, "").strip()
+    if not spec:
+        return None
+    try:
+        plan = FaultPlan.from_spec(spec)
+    except ValueError:
+        return None
+    for clause in plan.clauses:
+        if clause.stage == point and clause.fires(point, identity,
+                                                  current_attempt()):
+            return clause
+    return None
 
 
 def fire(clause: FaultClause, stage: str) -> bool:

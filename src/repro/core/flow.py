@@ -615,9 +615,11 @@ def run_flow(netlist_factory: Callable[[], Netlist], config: FlowConfig,
         guard = FlowGuard()
     if faults is None:
         faults = faults_mod.plan_from_env()
-    if faults.active or library is not None:
-        # Injected faults must never write to (or be hidden by) the
-        # store; a caller-supplied library bypasses it entirely.
+    if faults.flow_active or library is not None:
+        # Injected flow faults must never write to (or be hidden by)
+        # the store; a caller-supplied library bypasses it entirely.
+        # Cache-point fault clauses (``cache.*``/``lock.*``) keep the
+        # store attached — they exist to exercise it.
         store = None
     if stop_after is not None and stop_after not in FLOW_GRAPH:
         raise ValueError(
@@ -653,8 +655,14 @@ def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr,
 
     status: dict[str, str] = {}
     for stage in FLOW_GRAPH:
-        artifact = store.get(stage.name, keys[stage.name]) \
-            if store is not None else None
+        artifact = lease = None
+        if store is not None:
+            # Single-flight: a hit loads the artifact; a miss either
+            # wins a lease (this process computes while concurrent
+            # missers of the same key wait) or — after a bounded wait
+            # that timed out — degrades to independent computation.
+            artifact, lease = store.fetch_or_lease(
+                stage.name, keys[stage.name])
         if artifact is not None:
             # Replay: same top-level span as an executed stage (so the
             # canonical stage list holds for every trace), a zero-cost
@@ -665,10 +673,17 @@ def _run_flow_traced(netlist_factory, config, library, return_artifacts, tr,
                 stage.restore(state, artifact)
             status[stage.name] = "cached"
         else:
-            with _stage(tr, stage.name, config, plan):
-                out = stage.execute(state)
-            if store is not None and out is not None:
-                store.put(stage.name, keys[stage.name], out)
+            try:
+                with _stage(tr, stage.name, config, plan):
+                    out = stage.execute(state)
+                if store is not None and out is not None:
+                    store.put(stage.name, keys[stage.name], out)
+            finally:
+                # Publish-before-release: waiters poll the lock, so by
+                # the time it disappears the artifact must be readable
+                # (or the stage failed and a waiter takes over).
+                if lease is not None:
+                    lease.release()
             status[stage.name] = "ran"
         if stage.name == stop_after:
             break

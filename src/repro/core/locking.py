@@ -1,0 +1,357 @@
+"""Cross-process advisory file locks for the content-addressed store.
+
+The :class:`~repro.core.cache.FlowCache` and its
+:class:`~repro.core.stages.StageStore` sidecar are shared by every
+process on a machine — parallel sweep workers, concurrent ``repro``
+invocations, the future job server.  This module provides the one
+locking primitive they all use:
+
+* :class:`FileLock` — an advisory per-key lock implemented as an
+  ``O_CREAT | O_EXCL`` lockfile whose payload records the owner
+  (pid, hostname, creation timestamp).  Creation is atomic on every
+  POSIX filesystem, so exactly one process can hold a given lock;
+* **stale-lock detection** — a lock whose recorded owner pid is no
+  longer alive on this host (the holder crashed, was OOM-killed, or
+  hit a ``die`` fault) is *stale*.  Unreadable or torn lockfiles
+  become stale after :data:`UNREADABLE_GRACE_S`;
+* **safe stealing** — :meth:`FileLock.steal` claims a stale lock by
+  atomically renaming it aside first, so exactly one of any number of
+  concurrent stealers wins; the losers go back to waiting;
+* :class:`LockManager` — the per-store namespace of locks (a flat
+  ``locks/`` directory keyed by content hash), plus the stale-lock
+  sweep run at store open and the live-lock pinning the cache's quota
+  eviction honors.
+
+Waiting is bounded by ``$REPRO_LOCK_TIMEOUT`` (seconds, default
+:data:`DEFAULT_LOCK_TIMEOUT`); callers degrade gracefully to
+independent computation when a wait times out, so a wedged-but-alive
+lock holder can slow other processes down but never deadlock them.
+Lock events are counted on the active tracer (``lock.acquired``,
+``lock.waits``, ``lock.steals``, ``lock.timeouts``); the single-flight
+layer on top adds its own ``stage_cache.singleflight.*`` counters
+(see :mod:`repro.core.stages` and docs/robustness.md).
+"""
+
+from __future__ import annotations
+
+import errno
+import itertools
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from . import telemetry
+
+#: Environment variable bounding how long a process waits on another
+#: holder before computing independently (seconds; ``0`` disables
+#: waiting entirely — every contended lock degrades immediately).
+LOCK_TIMEOUT_ENV = "REPRO_LOCK_TIMEOUT"
+
+#: Default wait bound, seconds.  Generous enough for any real stage to
+#: publish its artifact, small enough that a wedged holder cannot
+#: stall a sweep forever.
+DEFAULT_LOCK_TIMEOUT = 300.0
+
+#: How long an unreadable/torn lockfile (no parseable owner) must sit
+#: before it is considered stale — covers a writer that died between
+#: creating and filling its lockfile.
+UNREADABLE_GRACE_S = 30.0
+
+#: Poll interval while waiting on a contended lock, seconds.
+POLL_INTERVAL_S = 0.05
+
+#: Distinguishes stolen-aside lockfiles; swept like stale tmp files.
+STEAL_SUFFIX = ".stale"
+
+_steal_counter = itertools.count()
+
+
+def lock_timeout() -> float:
+    """The effective wait bound from ``$REPRO_LOCK_TIMEOUT``."""
+    raw = os.environ.get(LOCK_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return DEFAULT_LOCK_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_LOCK_TIMEOUT
+    return max(0.0, value)
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a live process on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class LockOwner:
+    """The recorded holder of a lockfile."""
+
+    pid: int
+    host: str
+    created: float
+
+    @property
+    def age_s(self) -> float:
+        return max(0.0, time.time() - self.created)
+
+
+class FileLock:
+    """One advisory lock: a pid-stamped ``O_EXCL`` lockfile.
+
+    Not reentrant and single-owner by design: ``acquire`` / ``release``
+    pairs must nest within one thread.  All methods are safe to call
+    concurrently from any number of processes.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._held = False
+
+    # -- acquisition ---------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """One non-blocking acquisition attempt."""
+        payload = json.dumps({
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "created": time.time(),
+        })
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False  # unwritable store: behave as unlocked
+        try:
+            os.write(fd, payload.encode())
+        finally:
+            os.close(fd)
+        self._held = True
+        telemetry.current_tracer().count("lock.acquired")
+        return True
+
+    def acquire(self, timeout: float | None = None) -> bool:
+        """Block (bounded) until acquired; False when the wait timed out.
+
+        Stale locks encountered while waiting are stolen.  ``timeout``
+        defaults to :func:`lock_timeout`.
+        """
+        if self.try_acquire():
+            return True
+        if timeout is None:
+            timeout = lock_timeout()
+        deadline = time.monotonic() + timeout
+        waited = False
+        while True:
+            if self.is_stale() and self.steal():
+                return True
+            if self.try_acquire():
+                return True
+            if time.monotonic() >= deadline:
+                telemetry.current_tracer().count("lock.timeouts")
+                return False
+            if not waited:
+                waited = True
+                telemetry.current_tracer().count("lock.waits")
+            time.sleep(POLL_INTERVAL_S)
+
+    def release(self) -> None:
+        """Drop a held lock (no-op when not held)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass  # already stolen or swept: nothing left to release
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def owner(self) -> LockOwner | None:
+        """The recorded holder, or None when absent/unreadable."""
+        try:
+            payload = json.loads(self.path.read_text())
+            return LockOwner(pid=int(payload["pid"]),
+                             host=str(payload.get("host", "")),
+                             created=float(payload.get("created", 0.0)))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def is_stale(self) -> bool:
+        """Whether the current lockfile's holder is provably gone.
+
+        A foreign-host lock is never declared stale (we cannot probe
+        its pid); an unreadable lockfile is stale only after
+        :data:`UNREADABLE_GRACE_S`, so a writer between ``open`` and
+        ``write`` is not robbed.
+        """
+        owner = self.owner()
+        if owner is None:
+            try:
+                age = time.time() - self.path.stat().st_mtime
+            except OSError:
+                return False  # vanished: nothing to steal
+            return age > UNREADABLE_GRACE_S
+        if owner.host and owner.host != socket.gethostname():
+            return False
+        return not pid_alive(owner.pid)
+
+    def steal(self) -> bool:
+        """Claim a stale lock; True when *this* process now holds it.
+
+        The lockfile is renamed aside first — an atomic op only one
+        concurrent stealer can win — then its recorded owner is
+        re-checked *on the aside file*: if a racing stealer already
+        claimed-and-reacquired (so we renamed a fresh live lock, not
+        the stale one), the file is restored and the steal fails.
+        Only a verified-stale aside is discarded, followed by a fresh
+        acquisition — which can still lose to a third process that
+        slipped in; the caller then goes back to waiting.
+        """
+        aside = self.path.with_name(
+            f"{self.path.name}{STEAL_SUFFIX}."
+            f"{os.getpid()}.{next(_steal_counter)}")
+        try:
+            os.rename(self.path, aside)
+        except OSError:
+            return False  # someone else stole or released it first
+        if not FileLock(aside).is_stale():
+            # We raced another stealer and grabbed the winner's live
+            # lock: put it back where its holder expects it.
+            try:
+                os.rename(aside, self.path)
+            except OSError:
+                pass
+            return False
+        try:
+            aside.unlink()
+        except OSError:
+            pass
+        telemetry.current_tracer().count("lock.steals")
+        if self.try_acquire():
+            return True
+        return False
+
+    # -- context manager -----------------------------------------------------
+    def __enter__(self) -> "FileLock":
+        if not self.acquire():
+            raise TimeoutError(
+                f"could not acquire {self.path} within {lock_timeout():g}s")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class LockManager:
+    """The flat per-store lock namespace (``<cache-dir>/locks``).
+
+    Lock names are content-hash keys, so the lock for a store entry is
+    found without any registry: ``locks/<key>.lock``.  The manager also
+    owns the stale-lock sweep (store open, ``fsck --repair``) and
+    reports the live-lock pin set the quota eviction honors.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+
+    def lock(self, key: str) -> FileLock:
+        return FileLock(self.directory / f"{key}.lock")
+
+    def _lock_files(self):
+        if not self.directory.is_dir():
+            return
+        yield from self.directory.glob("*.lock")
+
+    def live_keys(self) -> set[str]:
+        """Keys currently pinned by a live (non-stale) lock."""
+        pinned: set[str] = set()
+        for path in self._lock_files():
+            if not FileLock(path).is_stale():
+                pinned.add(path.name[:-len(".lock")])
+        return pinned
+
+    def survey(self) -> tuple[int, int]:
+        """(live, stale) lock counts, for ``cache info`` and fsck."""
+        live = stale = 0
+        for path in self._lock_files():
+            if FileLock(path).is_stale():
+                stale += 1
+            else:
+                live += 1
+        return live, stale
+
+    def sweep_stale(self) -> int:
+        """Remove stale locks (and stolen-aside leftovers); returns count."""
+        removed = 0
+        if not self.directory.is_dir():
+            return 0
+        for path in self.directory.glob(f"*{STEAL_SUFFIX}.*"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self._lock_files():
+            if FileLock(path).is_stale():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass  # stolen/released while sweeping: fine
+        return removed
+
+    def clear(self) -> int:
+        """Remove every lockfile (``cache clear``); returns count."""
+        removed = 0
+        if not self.directory.is_dir():
+            return 0
+        for path in list(self.directory.glob("*.lock")) + list(
+                self.directory.glob(f"*{STEAL_SUFFIX}.*")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def fsync_file(fd: int) -> None:
+    """Best-effort fsync of one descriptor (ignored where unsupported)."""
+    try:
+        os.fsync(fd)
+    except OSError as exc:  # pragma: no cover - FS-dependent
+        if exc.errno not in (errno.EINVAL, errno.ENOTSUP, errno.EBADF):
+            raise
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """Best-effort fsync of a directory, making renames in it durable."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - FS-dependent
+        return
+    try:
+        fsync_file(fd)
+    finally:
+        os.close(fd)

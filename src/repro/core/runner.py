@@ -255,7 +255,9 @@ def _timed_run(netlist_factory: Callable[[], Netlist],
     # its retry policy; fatal ones come back already quarantined.
     # With ``cache`` (picklable: a directory + version) the worker
     # builds a StageStore on it, so every worker shares one on-disk
-    # per-stage artifact store; the store's hit/miss counters travel
+    # per-stage artifact store — locked, so concurrent missers of one
+    # stage key single-flight it (repro.core.locking) even across
+    # unrelated sweep processes; the store's hit/miss counters travel
     # back as the outcome's fourth element.
     if delay_s > 0:
         time.sleep(delay_s)  # retry backoff, served in the worker
@@ -568,8 +570,10 @@ class SweepRunner:
         keys: list[str | None] = [None] * len(configs)
         pending = list(range(len(configs)))
 
-        # Fault injection must never touch (or be hidden by) real
-        # cached results: an active plan bypasses the cache entirely.
+        # Flow fault injection must never touch (or be hidden by) real
+        # cached results: an active flow plan bypasses the cache
+        # entirely.  Cache-point clauses (cache.*/lock.*) don't count —
+        # they exist to exercise the store's own recovery paths.
         cache = self.cache if not faults_mod.faults_active() else None
         need_keys = (cache is not None or self.checkpoint is not None) \
             and configs

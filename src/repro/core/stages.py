@@ -38,10 +38,12 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from . import kernels, telemetry
+from . import faults as faults_mod
+from . import kernels, locking, telemetry
 from .cache import FlowCache, code_fingerprint
 from .config import FlowConfig
 
@@ -164,6 +166,27 @@ def stage_key(stage: Stage, config: FlowConfig,
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+class StageLease:
+    """The right to compute one stage artifact, won under single-flight.
+
+    Returned by :meth:`StageStore.fetch_or_lease` when this process is
+    the designated computer for a (stage, key).  The holder publishes
+    via the ordinary :meth:`StageStore.put` and then **must** call
+    :meth:`release` (in a ``finally``) so waiters stop polling —
+    publish-before-release is what lets a waiter treat "lock gone" as
+    "artifact available or holder failed"."""
+
+    def __init__(self, store: "StageStore", name: str, key: str,
+                 lock: locking.FileLock) -> None:
+        self.store = store
+        self.name = name
+        self.key = key
+        self._lock = lock
+
+    def release(self) -> None:
+        self._lock.release()
+
+
 class StageStore:
     """Per-stage artifact store on a :class:`FlowCache`'s blob sidecar.
 
@@ -174,15 +197,28 @@ class StageStore:
     (``stage_cache.*`` counters, documented in docs/observability.md).
 
     Safe to share between processes: the store itself is stateless
-    beyond counters, and the underlying blob writes are atomic.
+    beyond counters, the underlying blob writes are atomic, and
+    :meth:`fetch_or_lease` adds cross-process **single-flight** on top
+    — when several processes miss the same stage key at once, exactly
+    one computes while the rest wait (bounded by
+    ``$REPRO_LOCK_TIMEOUT``) and then load the published artifact.
+    The uncontended path emits no singleflight counters, so serial
+    runs trace identically to before; contention shows up as
+    ``stage_cache.singleflight.{wait,steal,compute,timeout}``.
     """
 
-    def __init__(self, cache: FlowCache) -> None:
+    def __init__(self, cache: FlowCache, locked: bool = True) -> None:
         self.cache = cache
+        #: Whether :meth:`fetch_or_lease` coordinates via file locks;
+        #: ``False`` degrades every call to plain get-or-compute.
+        self.locked = locked
         self.hits = 0
         self.misses = 0
         #: Per-stage hit/miss counts, e.g. ``{"placement": [3, 1]}``.
         self.by_stage: dict[str, list[int]] = {}
+        #: Cross-process coordination events (see docs/robustness.md).
+        self.singleflight = {"wait": 0, "steal": 0, "compute": 0,
+                             "timeout": 0}
 
     @property
     def version(self) -> str | None:
@@ -202,20 +238,105 @@ class StageStore:
             tracer.count("stage_cache.misses")
             tracer.count(f"stage_cache.miss.{name}")
 
-    def get(self, name: str, key: str) -> dict | None:
-        """The stored artifact for (stage, key), or ``None`` on a miss."""
+    def _peek(self, name: str, key: str) -> dict | None:
+        """A tally-free :meth:`get` for double-checks under the lock."""
         obj = self.cache.get_blob(key, f"stage-{name}")
         if not (isinstance(obj, dict) and obj.get("stage") == name
                 and isinstance(obj.get("artifact"), dict)):
-            self._tally(name, hit=False)
             return None
-        self._tally(name, hit=True)
         return obj["artifact"]
+
+    def get(self, name: str, key: str) -> dict | None:
+        """The stored artifact for (stage, key), or ``None`` on a miss."""
+        artifact = self._peek(name, key)
+        self._tally(name, hit=artifact is not None)
+        return artifact
 
     def put(self, name: str, key: str, artifact: dict) -> bool:
         """Store one stage artifact; ``False`` if it cannot be pickled."""
         return self.cache.put_blob(key, f"stage-{name}",
                                    {"stage": name, "artifact": artifact})
+
+    # -- cross-process single-flight -----------------------------------------
+    def _lease_won(self, name: str, key: str,
+                   lock: locking.FileLock) -> tuple[dict | None,
+                                                    "StageLease | None"]:
+        """Post-acquisition bookkeeping shared by every win path.
+
+        Double-checks for a publisher that beat us to the store, then
+        fires any ``lock.acquire`` fault clause (lock-holder death:
+        the process exits hard while holding the lease, which is
+        exactly the orphan the stale-lock steal recovers from).
+        """
+        artifact = self._peek(name, key)
+        if artifact is not None:
+            lock.release()
+            self._tally(name, hit=True)
+            return artifact, None
+        clause = faults_mod.cache_clause("lock.acquire", key)
+        if clause is not None:
+            faults_mod.fire(clause, "lock.acquire")
+        self._tally(name, hit=False)
+        return None, StageLease(self, name, key, lock)
+
+    def _count_flight(self, event: str) -> None:
+        self.singleflight[event] += 1
+        telemetry.current_tracer().count(
+            f"stage_cache.singleflight.{event}")
+
+    def fetch_or_lease(self, name: str,
+                       key: str) -> tuple[dict | None, "StageLease | None"]:
+        """Load the artifact, or win the right to compute it.
+
+        Returns ``(artifact, None)`` on a store hit, ``(None, lease)``
+        when this process should compute-and-publish (then release the
+        lease in a ``finally``), and ``(None, None)`` when the store is
+        unlocked or a wait timed out — compute independently, exactly
+        as an unlocked store would.
+
+        The contended path polls the holder's lock: stale locks (dead
+        holder) are stolen, a released lock means the artifact is
+        published (load it) or the holder failed (take over), and the
+        wait is bounded by ``$REPRO_LOCK_TIMEOUT``.
+        """
+        artifact = self._peek(name, key)
+        if artifact is not None:
+            self._tally(name, hit=True)
+            return artifact, None
+        if not self.locked:
+            self._tally(name, hit=False)
+            return None, None
+        lock = self.cache.locks.lock(key)
+        if lock.try_acquire():
+            return self._lease_won(name, key, lock)
+        # Another process is computing this exact stage key right now.
+        self._count_flight("wait")
+        deadline = time.monotonic() + locking.lock_timeout()
+        while True:
+            if lock.is_stale():
+                if lock.steal():
+                    self._count_flight("steal")
+                    self._count_flight("compute")
+                    return self._lease_won(name, key, lock)
+            elif not lock.exists():
+                artifact = self._peek(name, key)
+                if artifact is not None:
+                    self._tally(name, hit=True)
+                    return artifact, None
+                # Released without publishing (holder failed): take over.
+                if lock.try_acquire():
+                    self._count_flight("compute")
+                    return self._lease_won(name, key, lock)
+                if not lock.exists():
+                    # Lock creation itself fails (unwritable store):
+                    # degrade to uncoordinated computation.
+                    self._tally(name, hit=False)
+                    return None, None
+            if time.monotonic() >= deadline:
+                self._count_flight("timeout")
+                self._tally(name, hit=False)
+                return None, None
+            time.sleep(locking.POLL_INTERVAL_S)
 
     def counters(self) -> dict[str, float]:
         """This store's activity as ``stage_cache.*`` counter values."""
@@ -229,4 +350,7 @@ class StageStore:
                 out[f"stage_cache.hit.{name}"] = float(hits)
             if misses:
                 out[f"stage_cache.miss.{name}"] = float(misses)
+        for event, count in self.singleflight.items():
+            if count:
+                out[f"stage_cache.singleflight.{event}"] = float(count)
         return out

@@ -101,6 +101,7 @@ def nominal_bundle(netlist_factory, config: FlowConfig,
     if faults_mod.faults_active():
         cache = None
     key = None
+    lock = None
     if cache is not None:
         key = cache.key_for(config, netlist_fingerprint(netlist_factory()))
         stored = cache.get_blob(key, NOMINAL_BLOB_KIND)
@@ -108,15 +109,36 @@ def nominal_bundle(netlist_factory, config: FlowConfig,
             tr.count("mc.nominal_cache_hits")
             stored.cached = True
             return stored
+        # Single-flight on the nominal run: when several ``repro mc``
+        # processes share one cold cache, exactly one runs the
+        # expensive flow while the rest wait (bounded by
+        # $REPRO_LOCK_TIMEOUT) and load its published bundle; a timed
+        # out wait degrades to an independent run, like stage leases.
+        lock = cache.locks.lock(key)
+        if lock.acquire():
+            stored = cache.get_blob(key, NOMINAL_BLOB_KIND)
+            if isinstance(stored, NominalBundle):
+                lock.release()
+                tr.count("mc.nominal_cache_hits")
+                stored.cached = True
+                return stored
+        else:
+            lock = None
     store = StageStore(cache) if cache is not None else None
-    with tr.span("mc.nominal"):
-        artifacts = run_flow(netlist_factory, config, return_artifacts=True,
-                             tracer=tracer, store=store)
-    bundle = NominalBundle(result=artifacts.result, netlist=artifacts.netlist,
-                           library=artifacts.library,
-                           extraction=artifacts.extraction)
-    if cache is not None and key is not None:
-        cache.put_blob(key, NOMINAL_BLOB_KIND, bundle)
+    try:
+        with tr.span("mc.nominal"):
+            artifacts = run_flow(netlist_factory, config,
+                                 return_artifacts=True,
+                                 tracer=tracer, store=store)
+        bundle = NominalBundle(result=artifacts.result,
+                               netlist=artifacts.netlist,
+                               library=artifacts.library,
+                               extraction=artifacts.extraction)
+        if cache is not None and key is not None:
+            cache.put_blob(key, NOMINAL_BLOB_KIND, bundle)
+    finally:
+        if lock is not None:
+            lock.release()
     return bundle
 
 

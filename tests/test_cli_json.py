@@ -13,6 +13,7 @@ from repro.core.ppa import FailedRun
 CACHE_INFO_KEYS = {
     "directory", "exists", "entries", "total_bytes", "oldest_mtime",
     "newest_mtime", "stale_tmp_files", "blob_entries", "blob_bytes",
+    "max_bytes", "live_locks", "stale_locks",
 }
 
 

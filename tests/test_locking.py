@@ -1,0 +1,264 @@
+"""Advisory file locks: acquisition, staleness, stealing, timeouts."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core import telemetry
+from repro.core.locking import (
+    DEFAULT_LOCK_TIMEOUT,
+    LOCK_TIMEOUT_ENV,
+    UNREADABLE_GRACE_S,
+    FileLock,
+    LockManager,
+    lock_timeout,
+    pid_alive,
+)
+
+
+def _dead_pid() -> int:
+    """A pid that provably belonged to a process that has exited."""
+    proc = multiprocessing.Process(target=lambda: None)
+    proc.start()
+    pid = proc.pid
+    proc.join()
+    return pid
+
+
+def _write_lockfile(path, pid, created=None) -> None:
+    import socket
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "pid": pid, "host": socket.gethostname(),
+        "created": created if created is not None else time.time(),
+    }))
+
+
+class TestLockTimeout:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(LOCK_TIMEOUT_ENV, raising=False)
+        assert lock_timeout() == DEFAULT_LOCK_TIMEOUT
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(LOCK_TIMEOUT_ENV, "2.5")
+        assert lock_timeout() == 2.5
+
+    def test_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv(LOCK_TIMEOUT_ENV, "soon")
+        assert lock_timeout() == DEFAULT_LOCK_TIMEOUT
+
+    def test_negative_clamps_to_zero(self, monkeypatch):
+        monkeypatch.setenv(LOCK_TIMEOUT_ENV, "-3")
+        assert lock_timeout() == 0.0
+
+
+class TestPidAlive:
+    def test_self_is_alive(self):
+        assert pid_alive(os.getpid())
+
+    def test_dead_child_is_dead(self):
+        assert not pid_alive(_dead_pid())
+
+    def test_nonpositive_is_dead(self):
+        assert not pid_alive(0)
+        assert not pid_alive(-1)
+
+
+class TestFileLock:
+    def test_acquire_is_exclusive(self, tmp_path):
+        a = FileLock(tmp_path / "k.lock")
+        b = FileLock(tmp_path / "k.lock")
+        assert a.try_acquire()
+        assert not b.try_acquire()
+        a.release()
+        assert b.try_acquire()
+        b.release()
+
+    def test_release_removes_lockfile(self, tmp_path):
+        lock = FileLock(tmp_path / "k.lock")
+        assert lock.try_acquire()
+        assert lock.path.exists()
+        lock.release()
+        assert not lock.path.exists()
+        lock.release()  # idempotent
+
+    def test_owner_payload(self, tmp_path):
+        lock = FileLock(tmp_path / "k.lock")
+        assert lock.owner() is None
+        assert lock.try_acquire()
+        owner = lock.owner()
+        assert owner.pid == os.getpid()
+        assert owner.age_s >= 0.0
+        lock.release()
+
+    def test_context_manager(self, tmp_path):
+        with FileLock(tmp_path / "k.lock") as lock:
+            assert lock.held
+            assert lock.path.exists()
+        assert not lock.path.exists()
+
+    def test_context_manager_timeout_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(LOCK_TIMEOUT_ENV, "0.1")
+        holder = FileLock(tmp_path / "k.lock")
+        assert holder.try_acquire()
+        with pytest.raises(TimeoutError):
+            with FileLock(tmp_path / "k.lock"):
+                pass
+        holder.release()
+
+    def test_live_holder_is_not_stale(self, tmp_path):
+        lock = FileLock(tmp_path / "k.lock")
+        assert lock.try_acquire()
+        assert not FileLock(lock.path).is_stale()
+        lock.release()
+
+    def test_dead_holder_is_stale(self, tmp_path):
+        path = tmp_path / "k.lock"
+        _write_lockfile(path, _dead_pid())
+        assert FileLock(path).is_stale()
+
+    def test_unreadable_lock_needs_grace(self, tmp_path):
+        path = tmp_path / "k.lock"
+        path.write_text("")  # torn: writer died between open and write
+        lock = FileLock(path)
+        assert not lock.is_stale()  # fresh: give the writer its grace
+        old = time.time() - UNREADABLE_GRACE_S - 5
+        os.utime(path, (old, old))
+        assert lock.is_stale()
+
+    def test_foreign_host_never_stale(self, tmp_path):
+        path = tmp_path / "k.lock"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "pid": 1, "host": "some-other-machine",
+            "created": time.time()}))
+        assert not FileLock(path).is_stale()
+
+    def test_steal_dead_holder(self, tmp_path):
+        path = tmp_path / "k.lock"
+        _write_lockfile(path, _dead_pid())
+        lock = FileLock(path)
+        assert lock.steal()
+        assert lock.held
+        assert lock.owner().pid == os.getpid()
+        lock.release()
+
+    def test_concurrent_steal_has_one_winner(self, tmp_path):
+        path = tmp_path / "k.lock"
+        _write_lockfile(path, _dead_pid())
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def stealer():
+            lock = FileLock(path)
+            barrier.wait()
+            if lock.steal():
+                wins.append(lock)
+
+        threads = [threading.Thread(target=stealer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+        wins[0].release()
+
+    def test_acquire_timeout_counts(self, tmp_path):
+        holder = FileLock(tmp_path / "k.lock")
+        assert holder.try_acquire()
+        tracer = telemetry.Tracer(label="t")
+        with telemetry.activate(tracer):
+            assert not FileLock(tmp_path / "k.lock").acquire(timeout=0.15)
+        trace = tracer.finish()
+        assert trace.counters.get("lock.waits") == 1
+        assert trace.counters.get("lock.timeouts") == 1
+        holder.release()
+
+    def test_acquire_steals_stale_lock(self, tmp_path):
+        path = tmp_path / "k.lock"
+        _write_lockfile(path, _dead_pid())
+        lock = FileLock(path)
+        assert lock.acquire(timeout=5.0)
+        assert lock.held
+        lock.release()
+
+
+class TestLockManager:
+    def test_lock_path_is_flat_keyed(self, tmp_path):
+        mgr = LockManager(tmp_path / "locks")
+        lock = mgr.lock("ab" * 32)
+        assert lock.path == tmp_path / "locks" / f"{'ab' * 32}.lock"
+
+    def test_live_keys_excludes_stale(self, tmp_path):
+        mgr = LockManager(tmp_path / "locks")
+        live = mgr.lock("live")
+        assert live.try_acquire()
+        _write_lockfile(tmp_path / "locks" / "dead.lock", _dead_pid())
+        assert mgr.live_keys() == {"live"}
+        assert mgr.survey() == (1, 1)
+        live.release()
+
+    def test_sweep_removes_only_stale(self, tmp_path):
+        mgr = LockManager(tmp_path / "locks")
+        live = mgr.lock("live")
+        assert live.try_acquire()
+        _write_lockfile(tmp_path / "locks" / "dead.lock", _dead_pid())
+        assert mgr.sweep_stale() == 1
+        assert live.path.exists()
+        assert not (tmp_path / "locks" / "dead.lock").exists()
+        live.release()
+
+    def test_clear_removes_everything(self, tmp_path):
+        mgr = LockManager(tmp_path / "locks")
+        assert mgr.lock("a").try_acquire()
+        _write_lockfile(tmp_path / "locks" / "b.lock", _dead_pid())
+        assert mgr.clear() == 2
+        assert mgr.survey() == (0, 0)
+
+    def test_empty_directory(self, tmp_path):
+        mgr = LockManager(tmp_path / "locks")
+        assert mgr.live_keys() == set()
+        assert mgr.survey() == (0, 0)
+        assert mgr.sweep_stale() == 0
+        assert mgr.clear() == 0
+
+
+def _hold_and_count(path, counter_file, barrier):
+    # Module-level so multiprocessing can run it.  Each process
+    # increments a plain text counter under the lock; any lost update
+    # proves mutual exclusion is broken.
+    barrier.wait()
+    for _ in range(10):
+        lock = FileLock(path)
+        assert lock.acquire(timeout=30.0)
+        try:
+            value = int(counter_file.read_text())
+            time.sleep(0.001)
+            counter_file.write_text(str(value + 1))
+        finally:
+            lock.release()
+
+
+class TestCrossProcess:
+    def test_mutual_exclusion_under_contention(self, tmp_path):
+        path = tmp_path / "k.lock"
+        counter = tmp_path / "counter.txt"
+        counter.write_text("0")
+        workers = 4
+        barrier = multiprocessing.Barrier(workers)
+        procs = [multiprocessing.Process(
+            target=_hold_and_count, args=(path, counter, barrier))
+            for _ in range(workers)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+        assert int(counter.read_text()) == workers * 10
+        assert not path.exists()
