@@ -6,18 +6,15 @@ points are served from the content-addressed result cache; set
 """
 
 import json
-import os
 
-from repro.core import FlowCache, FlowConfig, SweepRunner
+from repro.core import FlowConfig, SweepRunner, script_runner
 from repro.core.io import result_to_dict
 from repro.synth import generate_riscv_core
 
 
 def make_runner() -> SweepRunner:
-    cache = None if os.environ.get("REPRO_NO_CACHE") else FlowCache()
     # Crash-safe: a killed batch resumes from the checkpoint file.
-    checkpoint = os.environ.get("REPRO_CHECKPOINT", "fig9.ckpt")
-    return SweepRunner(cache=cache, checkpoint=checkpoint or None)
+    return script_runner("fig9.ckpt")
 
 
 def report(tag: str, record) -> dict:

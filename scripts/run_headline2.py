@@ -4,9 +4,8 @@ Fans out over ``$REPRO_JOBS`` workers; cached points are served from
 the content-addressed result cache (``REPRO_NO_CACHE=1`` bypasses it).
 """
 import json
-import os
 
-from repro.core import FlowCache, FlowConfig, SweepRunner
+from repro.core import FlowConfig, script_runner
 from repro.core.io import result_to_dict
 from repro.synth import generate_riscv_core
 
@@ -29,9 +28,7 @@ for fp, (f, b) in ((0.5, (6, 6)), (0.5, (7, 5)), (0.3, (8, 4)), (0.3, (9, 3)), (
                  FlowConfig(arch='ffet', front_layers=f, back_layers=b,
                             backside_pin_fraction=fp, utilization=0.76)))
 
-cache = None if os.environ.get('REPRO_NO_CACHE') else FlowCache()
-checkpoint = os.environ.get('REPRO_CHECKPOINT', 'headline2.ckpt')
-runner = SweepRunner(cache=cache, checkpoint=checkpoint or None)
+runner = script_runner('headline2.ckpt')
 records = runner.run_records(generate_riscv_core, [cfg for _tag, cfg in jobs])
 
 results = {}

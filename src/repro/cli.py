@@ -583,6 +583,121 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _serve_env(name: str, fallback):
+    raw = os.environ.get(f"REPRO_SERVE_{name}", "").strip()
+    if not raw:
+        return fallback
+    return type(fallback)(raw) if fallback is not None else raw
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import dataclasses
+    import signal as signal_mod
+
+    from .core.cache import cache_from_env, default_cache_dir
+    from .service import JobJournal, ReproServer, Scheduler
+    from .service.journal import DEFAULT_BASENAME
+
+    cache = None if args.no_cache else cache_from_env(
+        args.cache_dir, max_bytes=args.cache_max_bytes)
+    journal = None
+    if args.journal != "":
+        path = args.journal or _serve_env("JOURNAL", None)
+        if path is None:
+            base = cache.directory if cache is not None \
+                else default_cache_dir()
+            path = os.path.join(str(base), DEFAULT_BASENAME)
+        journal = JobJournal(path, resume=not args.no_resume)
+    retry = RetryPolicy.from_env()
+    patch = {}
+    if args.timeout:
+        patch["timeout_s"] = args.timeout
+    if args.retries:
+        patch["max_attempts"] = max(1, args.retries)
+    if patch:
+        retry = dataclasses.replace(retry, **patch)
+    scheduler = Scheduler(cache=cache, workers=args.workers,
+                          journal=journal, retry=retry,
+                          max_runs=args.max_runs)
+    server = ReproServer(scheduler, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro serve listening on "
+              f"http://{args.host}:{server.port}", flush=True)
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{server.port}\n")
+        loop = asyncio.get_running_loop()
+        for sig in (signal_mod.SIGINT, signal_mod.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(server.stop()))
+            except (NotImplementedError, ValueError):
+                pass
+        await server.wait_stopped()
+
+    asyncio.run(_serve())
+    return 0
+
+
+def cmd_client(args) -> int:
+    from .service import ReproClient, ServiceError
+
+    if args.action == "submit" and not args.spec:
+        print("error: submit needs --spec FILE (or '-')", file=sys.stderr)
+        return 2
+    if args.action in ("status", "wait", "cancel") and not args.job_id:
+        print(f"error: {args.action} needs a job id", file=sys.stderr)
+        return 2
+    client = ReproClient(args.server)
+
+    def show(doc) -> None:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+
+    try:
+        if args.action == "submit":
+            if args.spec == "-":
+                spec = json.load(sys.stdin)
+            else:
+                with open(args.spec) as handle:
+                    spec = json.load(handle)
+            job = client.submit(spec)
+            if args.wait:
+                job = client.wait(job["id"], timeout_s=args.timeout)
+            show(job)
+            if args.wait and job.get("state") != "completed":
+                return 1
+        elif args.action == "status":
+            show(client.status(args.job_id))
+        elif args.action == "wait":
+            job = client.wait(args.job_id, timeout_s=args.timeout)
+            show(job)
+            if job.get("state") != "completed":
+                return 1
+        elif args.action == "cancel":
+            show(client.cancel(args.job_id))
+        elif args.action == "jobs":
+            show(client.jobs())
+        elif args.action == "health":
+            show(client.healthz())
+        elif args.action == "stats":
+            show(client.stats())
+        else:  # shutdown
+            show(client.shutdown())
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(f"error: cannot reach {client.url}: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: spec is not JSON: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -715,6 +830,69 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the aggregated report as JSON "
                         "(see docs/observability.md for the schema)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("serve",
+                       help="run the async job server (docs/service.md)")
+    p.add_argument("--host", default=_serve_env("HOST", "127.0.0.1"),
+                   help="bind address (default: $REPRO_SERVE_HOST "
+                        "or 127.0.0.1)")
+    p.add_argument("--port", type=int, default=_serve_env("PORT", 8642),
+                   help="bind port, 0 = ephemeral (default: "
+                        "$REPRO_SERVE_PORT or 8642)")
+    p.add_argument("--port-file", metavar="FILE", default=None,
+                   help="write the bound port here once listening "
+                        "(for scripts using --port 0)")
+    p.add_argument("--workers", type=int,
+                   default=_serve_env("WORKERS", 2),
+                   help="flow worker processes (default: "
+                        "$REPRO_SERVE_WORKERS or 2)")
+    p.add_argument("--journal", metavar="FILE", default=None,
+                   help="crash-safe job journal; '' disables it "
+                        "(default: $REPRO_SERVE_JOURNAL or "
+                        "<cache-dir>/service-journal.jsonl)")
+    p.add_argument("--no-resume", action="store_true",
+                   help="start with a fresh journal instead of replaying "
+                        "jobs from an interrupted server")
+    p.add_argument("--no-cache", action="store_true",
+                   help="run without the shared result cache (disables "
+                        "cross-job result and stage dedup)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                        "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="byte quota for the cache directory (default: "
+                        "$REPRO_CACHE_MAX_BYTES or unbounded)")
+    p.add_argument("--max-runs", type=int,
+                   default=_serve_env("MAX_RUNS", 256),
+                   help="per-job quota: a spec expanding to more runs is "
+                        "rejected (default: $REPRO_SERVE_MAX_RUNS or 256)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="default per-run wall-clock budget (default: "
+                        "$REPRO_TIMEOUT or unlimited)")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="default max attempts per run (default: "
+                        "$REPRO_RETRIES or 3)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client",
+                       help="talk to a running 'repro serve' daemon")
+    p.add_argument("action",
+                   choices=("submit", "status", "wait", "cancel", "jobs",
+                            "health", "stats", "shutdown"))
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="job id (for status/wait/cancel)")
+    p.add_argument("--server", default=None, metavar="URL",
+                   help="server URL (default: $REPRO_SERVE_URL or "
+                        "http://127.0.0.1:8642)")
+    p.add_argument("--spec", metavar="FILE", default=None,
+                   help="job spec JSON for submit ('-' reads stdin)")
+    p.add_argument("--wait", action="store_true",
+                   help="with submit: block until the job settles")
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="deadline for wait (default: forever)")
+    p.set_defaults(func=cmd_client)
     return parser
 
 

@@ -13,6 +13,7 @@ from importlib import import_module
 #: Exported name -> defining submodule, resolved on first access.
 _LAZY = {
     "FlowCache": ".cache",
+    "cache_from_env": ".cache",
     "cache_key": ".cache",
     "code_fingerprint": ".cache",
     "netlist_fingerprint": ".cache",
@@ -46,6 +47,7 @@ _LAZY = {
     "results_to_json": ".io",
     "FailedRun": ".ppa",
     "PPAResult": ".ppa",
+    "JsonlJournal": ".journal",
     "RetryPolicy": ".runner",
     "RunRecord": ".runner",
     "SweepCheckpoint": ".runner",
@@ -53,6 +55,7 @@ _LAZY = {
     "SweepStats": ".runner",
     "resolve_jobs": ".runner",
     "run_once": ".runner",
+    "script_runner": ".runner",
     "NULL_TRACER": ".telemetry",
     "NullTracer": ".telemetry",
     "Trace": ".telemetry",

@@ -68,6 +68,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: (unset or non-positive = unbounded).
 MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
+#: Environment variable disabling the cache wholesale (any non-empty
+#: value) for callers that build their cache via :func:`cache_from_env`.
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
 #: Age past which a tmp file whose writer pid cannot be parsed is
 #: considered abandoned and swept.
 TMP_GRACE_S = 3600.0
@@ -106,6 +110,22 @@ def default_max_bytes() -> int | None:
     except ValueError:
         return None
     return value if value > 0 else None
+
+
+def cache_from_env(directory: str | os.PathLike | None = None,
+                   max_bytes: int | None = None) -> "FlowCache | None":
+    """A :class:`FlowCache` honoring every cache environment knob.
+
+    Returns ``None`` when ``$REPRO_NO_CACHE`` is set, otherwise a store
+    at ``directory`` (default ``$REPRO_CACHE_DIR``) bounded by
+    ``max_bytes`` (default ``$REPRO_CACHE_MAX_BYTES``).  This is the
+    shared construction path for the batch scripts and the job server,
+    so "shared cache" means the same directory, quota and hygiene
+    everywhere.
+    """
+    if os.environ.get(NO_CACHE_ENV, "").strip():
+        return None
+    return FlowCache(directory, max_bytes=max_bytes)
 
 
 def config_cache_fields(config: FlowConfig) -> dict:

@@ -1,0 +1,126 @@
+"""Crash-safe append-only JSONL journals with an identity header.
+
+This is the durability primitive behind both the sweep checkpoint
+(:class:`~repro.core.runner.SweepCheckpoint`) and the job server's
+journal (:class:`repro.service.journal.JobJournal`): a JSONL file whose
+first line binds it to one *identity* (a small JSON dict plus a format
+version), followed by fsync'd event lines.  The guarantees:
+
+* **durable once appended** — :meth:`JsonlJournal.append` returns only
+  after the line is flushed and fsync'd, so a settled event survives a
+  ``SIGKILL`` immediately after;
+* **torn tails are harmless** — a process killed mid-write leaves at
+  most one truncated trailing line, which :meth:`begin` detects and
+  drops (together with anything after it);
+* **identity-bound resume** — :meth:`begin` replays the intact events
+  only when the header matches the expected kind, version and identity
+  fields; anything else (a different sweep, an older format, a foreign
+  file) starts the journal fresh rather than resuming the wrong work.
+
+Callers that replay typed events can pass an ``accept`` callback to
+:meth:`begin`; the first event it rejects truncates the replay there,
+exactly as a torn line would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable
+
+
+class JsonlJournal:
+    """One append-only JSONL event log bound to an identity header.
+
+    ``kind`` names the header event (``"sweep"``, ``"serve"``, ...) and
+    ``version`` is the caller's format version; both must match for
+    :meth:`begin` to resume an existing file.
+    """
+
+    def __init__(self, path: str | os.PathLike, kind: str, version: int,
+                 resume: bool = True) -> None:
+        self.path = Path(path)
+        self.kind = kind
+        self.version = version
+        self.resume = resume
+        self._handle = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def _header_matches(self, payload: dict, identity: dict) -> bool:
+        if payload.get("ev") != self.kind \
+                or payload.get("version") != self.version:
+            return False
+        return all(payload.get(k) == v for k, v in identity.items())
+
+    def begin(self, identity: dict,
+              accept: Callable[[dict], bool] | None = None) -> list[dict]:
+        """Open for appending; returns the replayed intact events.
+
+        When resuming a file whose header matches ``identity``, every
+        intact event line after the header is parsed and returned (the
+        header itself is not).  A torn trailing line, or the first
+        event ``accept`` rejects, truncates the replay there.  On any
+        header mismatch the file is started fresh and nothing is
+        replayed.
+        """
+        events: list[dict] = []
+        lines_kept = 0
+        raw_lines: list[str] = []
+        if self.resume and self.path.is_file():
+            try:
+                raw_lines = self.path.read_text().splitlines()
+            except OSError:
+                raw_lines = []
+            header_ok = False
+            for line in raw_lines:
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    break  # truncated tail from a mid-write crash
+                if not lines_kept:
+                    header_ok = self._header_matches(payload, identity)
+                    if not header_ok:
+                        break
+                else:
+                    if accept is not None and not accept(payload):
+                        break
+                    events.append(payload)
+                lines_kept += 1
+            if not header_ok:
+                events = []
+                lines_kept = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if lines_kept:
+            # Resuming: keep the intact prefix, drop any truncated tail.
+            intact = "\n".join(raw_lines[:lines_kept])
+            self._handle = open(self.path, "w")
+            self._handle.write(intact + "\n")
+        else:
+            self._handle = open(self.path, "w")
+            self._handle.write(json.dumps(
+                {"ev": self.kind, **identity,
+                 "version": self.version}) + "\n")
+        self._flush()
+        return events
+
+    def append(self, event: dict) -> None:
+        """Append one event line; durable once this returns."""
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(event) + "\n")
+        self._flush()
+
+    def close(self) -> None:
+        """Close the handle; the file remains resumable."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @property
+    def open(self) -> bool:
+        return self._handle is not None
+
+    def _flush(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())

@@ -75,6 +75,7 @@ from .cache import (
 from .config import FlowConfig
 from .errors import FlowError, RunTimeout, wrap_stage_error
 from .flow import run_flow
+from .journal import JsonlJournal
 from .ppa import FailedRun, PPAResult
 from .stages import StageStore
 
@@ -84,6 +85,8 @@ JOBS_ENV = "REPRO_JOBS"
 TIMEOUT_ENV = "REPRO_TIMEOUT"
 #: Environment variable supplying the default max attempts per run.
 RETRIES_ENV = "REPRO_RETRIES"
+#: Environment variable overriding a script's default checkpoint path.
+CHECKPOINT_ENV = "REPRO_CHECKPOINT"
 
 #: Extra parent-side patience beyond the per-run timeout before the
 #: watchdog declares a worker wedged (the in-worker alarm should always
@@ -105,6 +108,21 @@ def resolve_jobs(jobs: int | None = None) -> int:
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     return jobs
+
+
+def script_runner(default_checkpoint: str,
+                  jobs: int | None = None) -> SweepRunner:
+    """The one-line runner for ``scripts/run_*.py`` batch drivers.
+
+    Result cache on unless ``$REPRO_NO_CACHE`` is set, crash-safe
+    checkpoint at ``$REPRO_CHECKPOINT`` (default ``default_checkpoint``;
+    empty disables it), workers from ``$REPRO_JOBS`` — the exact policy
+    every headline script used to spell out by hand.
+    """
+    from .cache import cache_from_env
+    checkpoint = os.environ.get(CHECKPOINT_ENV, default_checkpoint)
+    return SweepRunner(jobs=jobs, cache=cache_from_env(),
+                       checkpoint=checkpoint or None)
 
 
 def _env_float(name: str) -> float | None:
@@ -418,94 +436,66 @@ class SweepStats:
 class SweepCheckpoint:
     """Append-only, crash-safe record of a sweep's settled runs.
 
-    A JSONL file: a header line binding the file to one sweep identity
-    (the hash of every run's content-addressed key, so a checkpoint can
-    never resume a *different* sweep), then one fsync'd line per
-    settled run.  A process killed mid-write leaves at most one
-    truncated trailing line, which :meth:`begin` skips.
+    A :class:`~repro.core.journal.JsonlJournal` whose header binds the
+    file to one sweep identity (the hash of every run's
+    content-addressed key, so a checkpoint can never resume a
+    *different* sweep), then one fsync'd line per settled run.  A
+    process killed mid-write leaves at most one truncated trailing
+    line, which :meth:`begin` skips.
     """
 
     VERSION = 1
 
     def __init__(self, path: str | os.PathLike, resume: bool = True) -> None:
-        self.path = Path(path)
-        self.resume = resume
-        self._handle = None
+        self._journal = JsonlJournal(path, "sweep", self.VERSION,
+                                     resume=resume)
+
+    @property
+    def path(self) -> Path:
+        return self._journal.path
 
     @staticmethod
     def sweep_id(keys: Sequence[str]) -> str:
         blob = json.dumps(list(keys), separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
 
+    @staticmethod
+    def _accept(payload: dict) -> bool:
+        # A run event whose payload does not decode is as good as torn:
+        # truncate the replay there.
+        if payload.get("ev") != "run":
+            return True
+        try:
+            result_from_payload(payload["payload"])
+        except (KeyError, TypeError, ValueError):
+            return False
+        return True
+
     def begin(self, sweep_id: str) -> dict[str, tuple]:
         """Open for appending; returns previously settled ``key ->
         (result, wall_time_s)`` entries when resuming the same sweep."""
+        events = self._journal.begin({"id": sweep_id}, accept=self._accept)
         entries: dict[str, tuple] = {}
-        lines_kept = 0
-        if self.resume and self.path.is_file():
-            try:
-                raw_lines = self.path.read_text().splitlines()
-            except OSError:
-                raw_lines = []
-            header_ok = False
-            for line in raw_lines:
-                try:
-                    payload = json.loads(line)
-                except ValueError:
-                    break  # truncated tail from a mid-write crash
-                if not lines_kept:
-                    header_ok = (payload.get("ev") == "sweep"
-                                 and payload.get("id") == sweep_id
-                                 and payload.get("version") == self.VERSION)
-                    if not header_ok:
-                        break
-                elif payload.get("ev") == "run":
-                    try:
-                        result = result_from_payload(payload["payload"])
-                    except (KeyError, TypeError, ValueError):
-                        break
-                    entries[payload["key"]] = \
-                        (result, payload.get("wall", 0.0))
-                lines_kept += 1
-            if not header_ok:
-                entries = {}
-                lines_kept = 0
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        if lines_kept:
-            # Resuming: keep the intact prefix, drop any truncated tail.
-            intact = "\n".join(self.path.read_text().splitlines()[:lines_kept])
-            self._handle = open(self.path, "w")
-            self._handle.write(intact + "\n")
-        else:
-            self._handle = open(self.path, "w")
-            self._handle.write(json.dumps(
-                {"ev": "sweep", "id": sweep_id,
-                 "version": self.VERSION}) + "\n")
-        self._flush()
+        for payload in events:
+            if payload.get("ev") == "run":
+                entries[payload["key"]] = \
+                    (result_from_payload(payload["payload"]),
+                     payload.get("wall", 0.0))
         return entries
 
     def record(self, key: str, result: PPAResult | FailedRun,
                wall_time_s: float) -> None:
         """Append one settled run; durable once this returns."""
-        if self._handle is None:
-            return
-        self._handle.write(json.dumps({
+        self._journal.append({
             "ev": "run", "key": key, "wall": wall_time_s,
             "payload": result_to_payload(result),
-        }) + "\n")
-        self._flush()
+        })
 
     def finish(self) -> None:
         """Close out a completed sweep (the file remains resumable)."""
-        if self._handle is not None:
-            self._handle.write(json.dumps({"ev": "end"}) + "\n")
-            self._flush()
-            self._handle.close()
-            self._handle = None
-
-    def _flush(self) -> None:
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self._journal.open:
+            self._journal.append({"ev": "end"})
+            self._journal.close()
 
 
 class SweepRunner:

@@ -53,6 +53,11 @@ from .config import FlowConfig
 #: chain is the stage key itself, so every downstream key inherits it).
 STAGE_KEY_FORMAT = 2
 
+#: The cross-process coordination events a store can record, in the
+#: order ``stage_cache.singleflight.<event>`` counters are documented
+#: (docs/observability.md).  Shared with the job server's ``/stats``.
+SINGLEFLIGHT_EVENTS = ("wait", "steal", "compute", "timeout")
+
 
 @dataclass(frozen=True)
 class Stage:
@@ -217,8 +222,7 @@ class StageStore:
         #: Per-stage hit/miss counts, e.g. ``{"placement": [3, 1]}``.
         self.by_stage: dict[str, list[int]] = {}
         #: Cross-process coordination events (see docs/robustness.md).
-        self.singleflight = {"wait": 0, "steal": 0, "compute": 0,
-                             "timeout": 0}
+        self.singleflight = {event: 0 for event in SINGLEFLIGHT_EVENTS}
 
     @property
     def version(self) -> str | None:

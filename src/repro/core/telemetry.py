@@ -43,6 +43,7 @@ __all__ = [
     "Tracer",
     "activate",
     "aggregate_stage_times",
+    "counter_total",
     "current_tracer",
     "format_stage_table",
     "load_trace",
@@ -319,6 +320,19 @@ def merge_counters(into: dict[str, float],
     for name, value in counters.items():
         into[name] = into.get(name, 0) + value
     return into
+
+
+def counter_total(counters: dict[str, float], prefix: str) -> float:
+    """Sum every counter under a dotted prefix.
+
+    ``counter_total(c, "stage_cache.singleflight")`` is the total
+    cross-process coordination activity regardless of event kind; the
+    job server's ``/stats`` and the CI smoke checks aggregate this way.
+    """
+    if not prefix.endswith("."):
+        prefix += "."
+    return sum(value for name, value in counters.items()
+               if name.startswith(prefix))
 
 
 def aggregate_stage_times(traces: Iterable[Trace]) -> dict[str, float]:

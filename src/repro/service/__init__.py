@@ -1,0 +1,28 @@
+"""``repro serve``: an async job server over the flow machinery.
+
+Clients POST job specs (one run, a sweep, a Monte-Carlo study) to
+``/jobs`` and poll or stream the results; the scheduler executes them
+through the exact runner/cache/single-flight stack the CLI and the
+sweep scripts use, so concurrent jobs share stage work and results are
+byte-identical to serial runs.  See ``docs/service.md``.
+"""
+
+from .client import DEFAULT_URL, URL_ENV, ReproClient, ServiceError
+from .jobspec import JobSpec, JobSpecError, parse_jobspec
+from .journal import JobJournal
+from .scheduler import Job, Scheduler
+from .server import ReproServer
+
+__all__ = [
+    "DEFAULT_URL",
+    "URL_ENV",
+    "Job",
+    "JobJournal",
+    "JobSpec",
+    "JobSpecError",
+    "ReproClient",
+    "ReproServer",
+    "Scheduler",
+    "ServiceError",
+    "parse_jobspec",
+]

@@ -1,0 +1,148 @@
+"""Pure-python client for a ``repro serve`` daemon.
+
+``http.client`` only — importable anywhere the package is, no
+dependency on the server's asyncio machinery.  One connection per
+request (the server closes after each response), so a client object is
+cheap, stateless and safe to share across threads.
+
+    client = ReproClient("http://127.0.0.1:8642")
+    job = client.submit({"kind": "sweep", "axis": "layers", ...})
+    final = client.wait(job["id"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from urllib.parse import urlsplit
+
+#: Environment variable naming the default server URL.
+URL_ENV = "REPRO_SERVE_URL"
+DEFAULT_URL = "http://127.0.0.1:8642"
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and server message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ReproClient:
+    """Blocking JSON-over-HTTP client for the job API."""
+
+    def __init__(self, url: str | None = None,
+                 timeout_s: float = 30.0) -> None:
+        self.url = (url or os.environ.get(URL_ENV, "").strip()
+                    or DEFAULT_URL)
+        split = urlsplit(self.url)
+        if split.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {self.url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 8642
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------------
+    def _request(self, method: str, path: str, doc: dict | None = None,
+                 timeout_s: float | None = None) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout_s if timeout_s is not None else self.timeout_s)
+        try:
+            body = json.dumps(doc).encode() if doc is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = {"error": raw[:200].decode("latin-1")}
+            if response.status >= 300:
+                message = payload.get("error", "") \
+                    if isinstance(payload, dict) else str(payload)
+                raise ServiceError(response.status, message)
+            return payload
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def submit(self, spec: dict) -> dict:
+        """POST one job spec; returns the job summary (with ``id``)."""
+        return self._request("POST", "/jobs", spec)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    def wait(self, job_id: str, timeout_s: float | None = None) -> dict:
+        """Block until the job settles; returns its final status.
+
+        Follows the ``/events`` NDJSON stream (no polling); falls back
+        to 0.2 s polling if the stream drops mid-job (e.g. the server
+        restarted).  Raises :class:`TimeoutError` on deadline.
+        """
+        deadline = None if timeout_s is None else time.time() + timeout_s
+        terminal = ("completed", "failed", "cancelled")
+        last: dict | None = None
+        while True:
+            remaining = None if deadline is None \
+                else max(0.1, deadline - time.time())
+            try:
+                last = self._stream_until_terminal(job_id, remaining)
+            except (OSError, http.client.HTTPException):
+                last = None
+            if last is not None and last.get("state") in terminal:
+                return last
+            if deadline is not None and time.time() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still "
+                    f"{(last or {}).get('state', 'unknown')} after "
+                    f"{timeout_s:g}s")
+            time.sleep(0.2)
+            status = self.status(job_id)
+            if status.get("state") in terminal:
+                return status
+
+    def _stream_until_terminal(self, job_id: str,
+                               timeout_s: float | None) -> dict | None:
+        terminal = ("completed", "failed", "cancelled")
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout_s)
+        last = None
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 300:
+                raise ServiceError(response.status,
+                                   response.read()[:200].decode("latin-1"))
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    last = json.loads(line.decode())
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    continue
+                if last.get("state") in terminal:
+                    break
+        finally:
+            conn.close()
+        return last

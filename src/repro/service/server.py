@@ -1,0 +1,213 @@
+"""A stdlib-only asyncio HTTP/1.1 front end for the scheduler.
+
+Deliberately tiny: request-line + headers + Content-Length body, one
+request per connection (every response carries ``Connection: close``),
+JSON in and out.  No ``http.server``, no threads — every handler runs
+on the same event loop that owns the scheduler, so route handlers can
+touch scheduler state without locks.
+
+Routes::
+
+    GET  /healthz            liveness + queue depth
+    GET  /stats              counters, pool and job-state breakdown
+    GET  /jobs               job summaries (most recent last)
+    POST /jobs               submit a spec -> 201 {"id": ...}
+    GET  /jobs/<id>          full status including settled runs
+    POST /jobs/<id>/cancel   cancel (running items finish)
+    GET  /jobs/<id>/events   NDJSON snapshots until the job settles
+    POST /shutdown           graceful stop
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from .jobspec import JobSpecError
+from .scheduler import TERMINAL, Scheduler
+
+#: Largest accepted request body (a spec is a few KiB; 4 MiB is lots).
+MAX_BODY_BYTES = 4 << 20
+#: Largest accepted request line + header block.
+MAX_HEAD_BYTES = 64 << 10
+
+_REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+def _json_bytes(doc: dict) -> bytes:
+    return (json.dumps(doc, sort_keys=True, separators=(",", ":"))
+            + "\n").encode()
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ReproServer:
+    """Bind, accept, route; owns one :class:`Scheduler`."""
+
+    def __init__(self, scheduler: Scheduler, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped = asyncio.Event()
+
+    async def start(self) -> None:
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.scheduler.stop()
+        self._stopped.set()
+
+    # -- plumbing ------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except HttpError as exc:
+                await self._respond(writer, exc.status,
+                                    {"error": str(exc)})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError,
+                    asyncio.LimitOverrunError, ValueError):
+                return
+            try:
+                await self._route(writer, method, path, body)
+            except HttpError as exc:
+                await self._respond(writer, exc.status,
+                                    {"error": str(exc)})
+            except ConnectionError:
+                pass
+            except Exception as exc:  # route bug: report, don't wedge
+                await self._respond(writer, 500, {
+                    "error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> tuple[str, str, bytes]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > MAX_HEAD_BYTES:
+            raise HttpError(413, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise HttpError(400, f"malformed request line {lines[0]!r}")
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise HttpError(400, "bad Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body over {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       doc: dict) -> None:
+        payload = _json_bytes(doc)
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+    async def _route(self, writer, method: str, path: str,
+                     body: bytes) -> None:
+        sched = self.scheduler
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            await self._respond(writer, 200, {
+                "ok": True,
+                "jobs": len(sched.jobs),
+                "queued_items": len(sched._heap),
+                "workers": sched.workers,
+            })
+        elif path == "/stats" and method == "GET":
+            await self._respond(writer, 200, sched.stats())
+        elif path == "/jobs" and method == "GET":
+            await self._respond(writer, 200, {
+                "jobs": [job.to_dict(full=False)
+                         for job in sched.jobs.values()]})
+        elif path == "/jobs" and method == "POST":
+            try:
+                doc = json.loads(body.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise HttpError(400, f"body is not JSON: {exc}")
+            try:
+                job = sched.submit(doc)
+            except JobSpecError as exc:
+                raise HttpError(400, str(exc))
+            await self._respond(writer, 201, job.to_dict(full=False))
+        elif path == "/shutdown" and method == "POST":
+            await self._respond(writer, 200, {"ok": True})
+            asyncio.get_running_loop().call_soon(
+                lambda: asyncio.ensure_future(self.stop()))
+        elif path.startswith("/jobs/"):
+            await self._route_job(writer, method, path)
+        else:
+            raise HttpError(404 if method in ("GET", "POST") else 405,
+                            f"no route for {method} {path}")
+
+    def _job(self, job_id: str):
+        job = self.scheduler.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job {job_id!r}")
+        return job
+
+    async def _route_job(self, writer, method: str, path: str) -> None:
+        parts = path.split("/")  # ['', 'jobs', <id>, ...]
+        if len(parts) == 3 and method == "GET":
+            await self._respond(writer, 200, self._job(parts[2]).to_dict())
+        elif len(parts) == 4 and parts[3] == "cancel" and method == "POST":
+            self._job(parts[2])
+            job = self.scheduler.cancel(parts[2])
+            await self._respond(writer, 200, job.to_dict(full=False))
+        elif len(parts) == 4 and parts[3] == "events" and method == "GET":
+            await self._stream_events(writer, self._job(parts[2]))
+        else:
+            raise HttpError(404, f"no route for {method} {path}")
+
+    async def _stream_events(self, writer, job) -> None:
+        """NDJSON job snapshots: one line per change, close at terminal."""
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        seen = -1
+        while True:
+            if job.version != seen:
+                seen = job.version
+                writer.write(_json_bytes(job.to_dict()))
+                await writer.drain()
+                if job.state in TERMINAL:
+                    return
+            async with self.scheduler.changed:
+                await self.scheduler.changed.wait_for(
+                    lambda: job.version != seen)
