@@ -36,7 +36,11 @@ from repro.core.cache import result_to_payload      # noqa: E402
 from repro.core.config import FlowConfig            # noqa: E402
 from repro.core.flow import run_flow                # noqa: E402
 from repro.core.telemetry import Tracer             # noqa: E402
-from repro.synth import RiscvConfig, generate_riscv_core  # noqa: E402
+from repro.synth import (                           # noqa: E402
+    PORTFOLIO,
+    RiscvConfig,
+    generate_riscv_core,
+)
 
 KERNEL_SPANS = (
     "kernel.place.field",
@@ -98,15 +102,38 @@ def fmt_table(rows: list[tuple[str, float, float]]) -> list[str]:
     return lines
 
 
+def update_report_file(out: Path, design: str, report: str) -> None:
+    """Each profiled design owns one section of the results file."""
+    sections: dict[str, str] = {}
+    if out.exists():
+        for chunk in out.read_text().split("== design: ")[1:]:
+            name, _, body = chunk.partition(" ==\n")
+            sections[name] = body
+    sections[design] = report
+    out.write_text("".join(f"== design: {name} ==\n{body}"
+                           for name, body in sorted(sections.items())))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="single rv8 run per mode (the CI tripwire)")
+    parser.add_argument("--design",
+                        choices=("riscv",) + tuple(sorted(PORTFOLIO)),
+                        default="riscv",
+                        help="benchmark design; 'riscv' is the plain core, "
+                             "the portfolio names (rv16_sram, ...) profile "
+                             "the macro-aware stages")
     args = parser.parse_args()
 
     xlen = 8 if args.smoke else 16
     repeats = 1 if args.smoke else 2
-    factory = RvFactory(xlen)
+    if args.design == "riscv":
+        factory = RvFactory(xlen)
+        label = f"rv{xlen}"
+    else:
+        factory = PORTFOLIO[args.design]
+        label = args.design
 
     runs = {mode: profile_mode(mode, factory, repeats)
             for mode in ("python", "numpy")}
@@ -119,7 +146,7 @@ def main() -> int:
     py_warm, np_warm = (runs[m]["warm"] for m in ("python", "numpy"))
 
     lines = [
-        f"flow kernel profile: rv{xlen} cold flow (no caches), "
+        f"flow kernel profile: {label} cold flow (no caches), "
         f"python reference vs numpy kernels"
         f"{' [smoke]' if args.smoke else ''}",
         f"host: {platform.platform()}, python {platform.python_version()}",
@@ -168,7 +195,7 @@ def main() -> int:
     if not args.smoke:
         out = REPO / "results" / "bench_flow_profile.txt"
         out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(report)
+        update_report_file(out, label, report)
         print(f"wrote {out}")
     return 1 if slower else 0
 

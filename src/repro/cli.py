@@ -47,10 +47,17 @@ from .core.errors import FlowError
 from .core.io import results_to_csv, results_to_json
 from .core.sweeps import (cts_mode_sweep, frequency_sweep,
                           layer_split_sweep, utilization_sweep)
-from .synth import RiscvConfig, generate_riscv_core
+from .synth import PORTFOLIO, RiscvConfig, generate_riscv_core
 
 
 def _add_core_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--design",
+                        choices=("riscv",) + tuple(sorted(PORTFOLIO)),
+                        default="riscv",
+                        help="benchmark design; 'riscv' is the plain core "
+                             "sized by --xlen/--nregs, the portfolio names "
+                             "(rv16_sram, rv16_cache, rv16_tile, ...) run "
+                             "with their own defaults")
     parser.add_argument("--xlen", type=int, default=16,
                         help="RISC-V datapath width (paper scale: 32)")
     parser.add_argument("--nregs", type=int, default=16,
@@ -217,8 +224,24 @@ class RiscvFactory:
             xlen=self.xlen, nregs=self.nregs, name=f"rv{self.xlen}"))
 
 
+class PortfolioFactory:
+    """Picklable factory resolving a portfolio design name at call time."""
+
+    def __init__(self, design: str) -> None:
+        if design not in PORTFOLIO:
+            raise ValueError(f"unknown design {design!r} "
+                             f"(one of {sorted(PORTFOLIO)})")
+        self.design = design
+
+    def __call__(self):
+        return PORTFOLIO[self.design]()
+
+
 def _factory_from(args):
-    return RiscvFactory(args.xlen, args.nregs)
+    design = getattr(args, "design", "riscv")
+    if design == "riscv":
+        return RiscvFactory(args.xlen, args.nregs)
+    return PortfolioFactory(design)
 
 
 def _emit(args, runs) -> None:

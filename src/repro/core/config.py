@@ -34,6 +34,9 @@ class FlowConfig:
     #: Target share of clock wirelength on backside metal in dual mode.
     cts_back_fraction: float = 0.5
     activity: float = 0.25
+    #: Keep-out margin (in CPP) legalization enforces around each hard
+    #: macro the design instantiates; no effect on macro-free designs.
+    macro_halo_cpp: int = 2
     allow_bridging: bool = False
     power_stripe_pitch_cpp: int | None = None
     rrr_iterations: int = 8
@@ -59,6 +62,8 @@ class FlowConfig:
             raise ValueError(
                 "backside pins need backside routing layers (or bridging)"
             )
+        if self.macro_halo_cpp < 0:
+            raise ValueError("macro_halo_cpp must be non-negative")
         if self.cts_mode not in ("single", "dual"):
             raise ValueError(f"unknown cts_mode {self.cts_mode!r}")
         if not 0.0 <= self.cts_back_fraction <= 1.0:

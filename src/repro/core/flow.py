@@ -30,6 +30,7 @@ from typing import Callable
 from ..cells import Library, build_library, pin_density_label, redistribute_input_pins
 from ..extract import congestion_derates, extract_design
 from ..lefdef import DefDesign, def_from_routing, merge_defs
+from ..macros import attach_macros
 from ..netlist import Netlist
 from ..pnr import (
     FloorplanSpec,
@@ -243,6 +244,9 @@ def _restore_library(s: _FlowState, art: dict) -> None:
 def _exec_netlist(s: _FlowState) -> dict:
     netlist = (s.base_netlist if s.base_netlist is not None
                else s.netlist_factory())
+    # Hard macros the design declares are compiled into the library
+    # before binding (pin directions come from the macro masters).
+    attach_macros(netlist, s.library)
     netlist.bind(s.library)
     s.netlist = netlist
     s.tr.gauge("netlist.instances", len(netlist.instances))
@@ -252,6 +256,9 @@ def _exec_netlist(s: _FlowState) -> dict:
 
 def _restore_netlist(s: _FlowState, art: dict) -> None:
     s.netlist = art["netlist"]
+    # The library artifact is captured at the library stage — before
+    # any macros exist — so a replayed netlist re-attaches its macros.
+    attach_macros(s.netlist, s.library)
     s.tr.gauge("netlist.instances", len(s.netlist.instances))
     s.tr.gauge("netlist.nets", len(s.netlist.nets))
 
@@ -274,12 +281,17 @@ def _restore_sizing(s: _FlowState, art: dict) -> None:
 def _exec_floorplan(s: _FlowState) -> dict:
     s.die = plan_floor(s.netlist, s.library,
                        FloorplanSpec(s.config.utilization,
-                                     s.config.aspect_ratio))
+                                     s.config.aspect_ratio,
+                                     s.config.macro_halo_cpp))
+    if s.die.macros:
+        s.tr.gauge("floorplan.macros", len(s.die.macros))
     return {"die": s.die}
 
 
 def _restore_floorplan(s: _FlowState, art: dict) -> None:
     s.die = art["die"]
+    if getattr(s.die, "macros", ()):
+        s.tr.gauge("floorplan.macros", len(s.die.macros))
 
 
 def _exec_powerplan(s: _FlowState) -> dict:
@@ -343,13 +355,13 @@ def _exec_legalization(s: _FlowState) -> dict:
             refine_placement(s.netlist, s.library, s.placement, s.powerplan,
                              iterations=s.config.refine_iterations,
                              seed=s.config.seed)
-    s.guard.check_placement(s.netlist, s.die, s.placement)
+    s.guard.check_placement(s.netlist, s.die, s.placement, legal=True)
     return {"placement": s.placement}
 
 
 def _restore_legalization(s: _FlowState, art: dict) -> None:
     s.placement = art["placement"]
-    s.guard.check_placement(s.netlist, s.die, s.placement)
+    s.guard.check_placement(s.netlist, s.die, s.placement, legal=True)
 
 
 def _exec_routing(s: _FlowState) -> dict:
@@ -365,9 +377,14 @@ def _exec_routing(s: _FlowState) -> dict:
             for inst_name, inst in netlist.instances.items():
                 master = library[inst.master]
                 p = placement.locations[inst_name]
+                offsets = getattr(master, "pin_offsets", None)
                 for pin in master.pins.values():
                     if pin.on_side(side):
-                        pin_xy.append((p.x_nm, p.y_nm))
+                        if offsets:
+                            dx, dy = offsets.get(pin.name, (0.0, 0.0))
+                            pin_xy.append((p.x_nm + dx, p.y_nm + dy))
+                        else:
+                            pin_xy.append((p.x_nm, p.y_nm))
             counts = pin_count_map(pin_xy, die, config.gcell_tracks,
                                    tech.rules.track_pitch_nm)
             grids[side] = build_grid(tech, die, side, powerplan,
@@ -511,7 +528,8 @@ FLOW_GRAPH = StageGraph((
           upstream=("netlist",),
           execute=_exec_sizing, restore=_restore_sizing),
     Stage("floorplan",
-          config_fields=frozenset({"utilization", "aspect_ratio"}),
+          config_fields=frozenset({"utilization", "aspect_ratio",
+                                   "macro_halo_cpp"}),
           upstream=("sizing",),
           execute=_exec_floorplan, restore=_restore_floorplan),
     Stage("powerplan",

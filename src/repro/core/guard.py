@@ -95,8 +95,15 @@ class FlowGuard:
         telemetry.current_tracer().count("guard.checks")
 
     # -- stage checks --------------------------------------------------------
-    def check_placement(self, netlist, die, placement) -> None:
-        """Every instance placed exactly once, inside the die bounds."""
+    def check_placement(self, netlist, die, placement,
+                        legal: bool = False) -> None:
+        """Every instance placed exactly once, inside the die bounds.
+
+        With ``legal=True`` (post-legalization), additionally checks
+        that no standard cell sits on top of a hard-macro footprint —
+        global placement may transiently park cells there, legalization
+        must not.
+        """
         if not self.enabled:
             return
         self._checked()
@@ -116,6 +123,25 @@ class FlowGuard:
                 "placement",
                 f"{len(astray)} locations outside the die "
                 f"(first: {sorted(astray)[:3]})")
+            return
+        macros = getattr(die, "macros", ())
+        if legal and macros:
+            macro_names = {m.name for m in macros}
+            trapped = []
+            for name, p in placement.locations.items():
+                if name in macro_names:
+                    continue
+                for m in macros:
+                    r = m.rect
+                    if (r.x0_nm < p.x_nm < r.x1_nm
+                            and r.y0_nm < p.y_nm < r.y1_nm):
+                        trapped.append(name)
+                        break
+            if trapped:
+                self._violate(
+                    "legalization",
+                    f"{len(trapped)} cells placed on a macro footprint "
+                    f"(first: {sorted(trapped)[:3]})")
 
     def check_decomposition(self, netlist, decomposition) -> None:
         """Algorithm 1 kept every sink, on exactly one side."""

@@ -21,7 +21,7 @@ from ..core import kernels
 from ..core.telemetry import current_tracer
 from ..lefdef.def_ import DefDesign, RouteSegment
 from ..netlist import Netlist
-from ..pnr.placement import Placement
+from ..pnr.placement import Placement, pin_point
 from ..tech import Side, Stackup
 from .rc import NetParasitics, RCTree, elmore_forest
 
@@ -229,14 +229,16 @@ def extract_design(merged: DefDesign, netlist: Netlist, library: Library,
     for net_name in netlist.nets:
         driver, sink_pins = _net_pins(netlist, library, net_name, cap_memo)
         if driver is not None:
-            p = placement.locations[driver[0]]
+            drv_master = library[netlist.instances[driver[0]].master]
+            p = pin_point(placement, drv_master, driver[0], driver[1])
             driver_xy = (p.x_nm, p.y_nm)
         else:
             pad = placement.io_pins.get(net_name)
             driver_xy = (pad.x_nm, pad.y_nm) if pad else None
         sinks = []
         for inst, pin, cap in sink_pins:
-            p = placement.locations[inst]
+            master = library[netlist.instances[inst].master]
+            p = pin_point(placement, master, inst, pin)
             sinks.append((inst, pin, cap, (p.x_nm, p.y_nm)))
         segments = merged.nets.get(net_name, [])
         builds.append(_prepare_net(

@@ -54,6 +54,10 @@ class DefDesign:
     components: dict[str, DefComponent] = field(default_factory=dict)
     nets: dict[str, list[RouteSegment]] = field(default_factory=dict)
     special_nets: dict[str, list[RouteSegment]] = field(default_factory=dict)
+    #: Routing blockages over hard-macro obstructions:
+    #: (layer, x0, y0, x1, y1) in nm.
+    blockages: list[tuple[str, float, float, float, float]] = \
+        field(default_factory=list)
 
     @property
     def total_wirelength_nm(self) -> float:
@@ -130,11 +134,19 @@ def def_from_routing(netlist: Netlist, placement: Placement, die: Die,
         die_width_nm=die.width_nm,
         die_height_nm=die.height_nm,
     )
+    macro_names = {m.name for m in getattr(die, "macros", ())}
     for inst_name in sorted(netlist.instances):
         p = placement.locations[inst_name]
         design.components[inst_name] = DefComponent(
-            inst_name, netlist.instances[inst_name].master, p.x_nm, p.y_nm
+            inst_name, netlist.instances[inst_name].master, p.x_nm, p.y_nm,
+            fixed=inst_name in macro_names,
         )
+    for macro in getattr(die, "macros", ()):
+        for layer, rect in macro.obstructions:
+            if (side is Side.BACK) == layer.startswith("B"):
+                design.blockages.append(
+                    (layer, rect.x0_nm, rect.y0_nm, rect.x1_nm, rect.y1_nm)
+                )
     if powerplan is not None:
         for tap in powerplan.tap_cells:
             design.components[tap.name] = DefComponent(
@@ -203,6 +215,15 @@ def write_def(design: DefDesign) -> str:
         lines.append("  ;")
     lines.append("END NETS")
     lines.append("")
+    if design.blockages:
+        lines.append(f"BLOCKAGES {len(design.blockages)} ;")
+        for layer, x0, y0, x1, y1 in design.blockages:
+            lines.append(
+                f"- LAYER {layer} RECT ( {int(x0)} {int(y0)} ) "
+                f"( {int(x1)} {int(y1)} ) ;"
+            )
+        lines.append("END BLOCKAGES")
+        lines.append("")
     lines.append("END DESIGN")
     return "\n".join(lines) + "\n"
 
@@ -212,6 +233,10 @@ _COMPONENT_RE = re.compile(
 )
 _SEGMENT_RE = re.compile(
     r"\+\s+ROUTED\s+(\S+)(?:\s+\d+)?\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)\s+"
+    r"\(\s*(-?\d+)\s+(-?\d+)\s*\)"
+)
+_BLOCKAGE_RE = re.compile(
+    r"-\s+LAYER\s+(\S+)\s+RECT\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)\s+"
     r"\(\s*(-?\d+)\s+(-?\d+)\s*\)"
 )
 
@@ -233,6 +258,12 @@ def parse_def(text: str) -> DefDesign:
     def section(header: str) -> str:
         m = re.search(rf"{header}\s+\d+\s*;(.*?)END {header}", text, re.DOTALL)
         return m.group(1) if m else ""
+
+    for m in _BLOCKAGE_RE.finditer(section("BLOCKAGES")):
+        design.blockages.append(
+            (m.group(1), float(m.group(2)), float(m.group(3)),
+             float(m.group(4)), float(m.group(5)))
+        )
 
     for m in _COMPONENT_RE.finditer(section("COMPONENTS")):
         comp = DefComponent(

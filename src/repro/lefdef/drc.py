@@ -103,6 +103,18 @@ def check_def(design: DefDesign, library: Library,
             if layer.purpose not in (LayerPurpose.POWER, LayerPurpose.SIGNAL):
                 report.add("pdn.purpose", net_name,
                            f"layer {seg.layer} cannot carry power")
+
+    for layer_name, x0, y0, x1, y1 in design.blockages:
+        layer = stackup.get(layer_name)
+        if layer is None:
+            report.add("blockage.layer", layer_name, "not in stackup")
+            continue
+        if side is not None and layer.side is not side:
+            report.add("blockage.side", layer_name,
+                       "blockage on the wrong wafer side")
+        if not (inside(x0, y0) and inside(x1, y1)):
+            report.add("blockage.bounds", layer_name,
+                       f"rect ({x0}, {y0}) ({x1}, {y1}) outside die")
     return report
 
 

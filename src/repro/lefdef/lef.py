@@ -32,8 +32,10 @@ def write_lef(library: Library) -> str:
     for master in sorted(library.masters.values(), key=lambda m: m.name):
         width_um = master.width_cpp * tech.cpp_nm / 1000.0
         height_um = master.height_tracks * tech.track_pitch_nm / 1000.0
+        is_block = getattr(master, "is_macro", False)
+        offsets = getattr(master, "pin_offsets", None) or {}
         lines.append(f"MACRO {master.name}")
-        lines.append("  CLASS CORE ;")
+        lines.append(f"  CLASS {'BLOCK' if is_block else 'CORE'} ;")
         lines.append(f"  SIZE {width_um:.4f} BY {height_um:.4f} ;")
         lines.append("  ORIGIN 0 0 ;")
         for pin in sorted(master.pins.values(), key=lambda p: p.name):
@@ -43,16 +45,37 @@ def write_lef(library: Library) -> str:
             lines.append(f"    DIRECTION {direction} ;")
             lines.append(f"    USE {use} ;")
             for side in sorted(pin.sides, key=lambda s: s.value):
-                x = (pin.track + 0.5) * tech.cpp_nm / 1000.0
-                x = min(x, width_um - 0.001)
                 lines.append("    PORT")
                 lines.append(f"      LAYER {_SIDE_LAYER[side]} ;")
-                lines.append(
-                    f"      RECT {x:.4f} 0.0000 {x + 0.014:.4f} "
-                    f"{height_um:.4f} ;"
-                )
+                if pin.name in offsets:
+                    # Macro pins: a point shape at the pin's offset from
+                    # the macro center, in macro-origin coordinates.
+                    dx, dy = offsets[pin.name]
+                    x = width_um / 2 + dx / 1000.0
+                    y = height_um / 2 + dy / 1000.0
+                    lines.append(
+                        f"      RECT {x:.4f} {y:.4f} {x + 0.014:.4f} "
+                        f"{y + 0.014:.4f} ;"
+                    )
+                else:
+                    x = (pin.track + 0.5) * tech.cpp_nm / 1000.0
+                    x = min(x, width_um - 0.001)
+                    lines.append(
+                        f"      RECT {x:.4f} 0.0000 {x + 0.014:.4f} "
+                        f"{height_um:.4f} ;"
+                    )
                 lines.append("    END")
             lines.append(f"  END {pin.name}")
+        obstructions = getattr(master, "obstructions", ()) if is_block else ()
+        if obstructions:
+            lines.append("  OBS")
+            for layer, x0, y0, x1, y1 in obstructions:
+                lines.append(f"    LAYER {layer} ;")
+                lines.append(
+                    f"      RECT {x0 / 1000.0:.4f} {y0 / 1000.0:.4f} "
+                    f"{x1 / 1000.0:.4f} {y1 / 1000.0:.4f} ;"
+                )
+            lines.append("  END")
         lines.append(f"END {master.name}")
         lines.append("")
     lines.append("END LIBRARY")

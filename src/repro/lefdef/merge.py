@@ -57,6 +57,9 @@ def merge_defs(front: DefDesign, back: DefDesign,
             merged.nets.setdefault(net_name, []).extend(segments)
         for net_name, segments in source.special_nets.items():
             merged.special_nets.setdefault(net_name, []).extend(segments)
+        for blockage in source.blockages:
+            if blockage not in merged.blockages:
+                merged.blockages.append(blockage)
 
     from ..core.telemetry import current_tracer
     tracer = current_tracer()

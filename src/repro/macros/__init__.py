@@ -1,0 +1,265 @@
+"""Parameterized SRAM/register-file macro compiler.
+
+Every FFET-vs-CFET experiment so far ran flip-flop register files; the
+paper's block-level PPA claims only become credible with hard macros
+exerting realistic pin and blockage pressure on both wafer sides.  This
+module generates such macros the way OpenNVRAM's modular compiler and
+rad_gen's ``sram_compiler.py`` do: a bitcell array, a row decoder and
+sense/driver periphery are *composed* into one hard block with
+
+* a footprint quantized to placement sites and rows (so floorplanning,
+  legalization blockages and DEF emission all stay in site units),
+* a **dual-sided pin map** — frontside data/address pins on the macro
+  boundary, a backside clock pin under FFET (the macro's internal clock
+  mesh taps the backside distribution directly, per the dual-sided CTS
+  scenario), dual-sided Q outputs via the Drain Merge,
+* obstruction rectangles over the metal layers the internal array
+  consumes, on both sides under FFET, and
+* characterized CK->Q timing, setup constraints and power models scaled
+  from the array dimensions, so STA/power treat the macro like any
+  other sequential master.
+
+The compiled :class:`MacroMaster` *is a* :class:`~repro.cells.CellMaster`
+(flagged ``is_macro``), so the netlist, the stage-key chain and the
+LEF/DEF writers need no parallel type hierarchy; physical stages test
+``getattr(master, "is_macro", False)`` and consult the extra geometry.
+
+Determinism: :func:`compile_macro` is a pure function of
+``(spec, tech)``; the master name encodes the parameters (e.g.
+``SRAM32X16``) so the netlist fingerprint — and therefore every stage
+key — captures the macro configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..cells import (
+    CellMaster,
+    LookupTable,
+    Pin,
+    PinDirection,
+    PowerModel,
+    SequentialTiming,
+    TimingArc,
+    dual_pin,
+    front_pin,
+)
+from ..tech import Side, TechNode
+
+#: Placement sites one bitcell column occupies.
+BITCELL_SITES = 1
+#: Sites reserved for the row decoder strip on the macro's left edge.
+DECODER_SITES = 4
+#: Cell rows of sense-amp / write-driver periphery under the array.
+PERIPHERY_ROWS = 2
+#: Column-mux factor folding tall arrays into wider, shorter ones.
+FOLD_THRESHOLD_WORDS = 16
+FOLD_MUX = 4
+
+#: Fraction of the outline covered by the *upper* obstruction layer
+#: (the lower layer blocks the full footprint).
+UPPER_OBS_FRACTION = 0.8
+
+
+@dataclass(frozen=True)
+class MacroSpec:
+    """Size parameters of one SRAM/register-file macro."""
+
+    words: int = 32
+    bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.words < 4 or self.words & (self.words - 1):
+            raise ValueError("macro words must be a power of two >= 4")
+        if not 1 <= self.bits <= 256:
+            raise ValueError("macro bits must be in [1, 256]")
+
+    @property
+    def addr_bits(self) -> int:
+        return int(math.log2(self.words))
+
+    @property
+    def name(self) -> str:
+        return f"SRAM{self.words}X{self.bits}"
+
+
+@dataclass
+class MacroMaster(CellMaster):
+    """A hard macro: a cell master with site-quantized geometry,
+    boundary pin offsets and routing obstructions.
+
+    ``pin_offsets`` maps pin name to an (dx_nm, dy_nm) offset **from the
+    macro center** — the router adds it to the placed center location to
+    target the physical pin shape.  ``obstructions`` are
+    ``(layer_name, x0, y0, x1, y1)`` rectangles in nm **relative to the
+    macro origin** (lower-left corner).
+    """
+
+    is_macro = True
+
+    width_sites: int = 0
+    height_rows: int = 0
+    pin_offsets: dict[str, tuple[float, float]] = field(default_factory=dict)
+    obstructions: tuple = ()
+
+
+def macro_name(spec: MacroSpec) -> str:
+    """The deterministic master name a spec compiles to."""
+    return spec.name
+
+
+def _folded_array(spec: MacroSpec) -> tuple[int, int]:
+    """(array rows, bitcell columns) after column-mux folding."""
+    mux = FOLD_MUX if spec.words >= FOLD_THRESHOLD_WORDS else 1
+    return spec.words // mux, spec.bits * mux
+
+
+def compile_macro(spec: MacroSpec, tech: TechNode) -> MacroMaster:
+    """Compose bitcell array + decoder + periphery into a hard macro."""
+    array_rows, array_cols = _folded_array(spec)
+    width_sites = DECODER_SITES + array_cols * BITCELL_SITES
+    height_rows = array_rows + PERIPHERY_ROWS
+
+    cpp = tech.cpp_nm
+    row_nm = tech.cell_height_nm
+    width_nm = width_sites * cpp
+    height_nm = height_rows * row_nm
+
+    # -- pin map ------------------------------------------------------------
+    # Inputs (CK, WE, address, data) sit on the bottom edge, outputs on
+    # the top edge, all on the CPP grid.  The CK pin routes on the
+    # backside under FFET (the macro clock mesh taps the backside
+    # distribution); data/address stay frontside, Q is dual-sided via
+    # the Drain Merge — the paper's pin-map asymmetry in miniature.
+    dual = tech.dual_sided_pins
+    pins: dict[str, Pin] = {}
+    pin_offsets: dict[str, tuple[float, float]] = {}
+
+    def edge_x(index: int, count: int) -> float:
+        """On-grid x (nm from origin) of the index-th of count edge pins."""
+        step = max(1, width_sites // (count + 1))
+        site = min((index + 1) * step, width_sites - 1)
+        return site * cpp
+
+    bottom = (["CK", "WE"]
+              + [f"A{i}" for i in range(spec.addr_bits)]
+              + [f"D{i}" for i in range(spec.bits)])
+    for k, name in enumerate(bottom):
+        if name == "CK":
+            sides = frozenset({Side.BACK}) if dual else frozenset({Side.FRONT})
+            pins[name] = Pin(name, PinDirection.CLOCK, sides, cap_ff=0.8)
+        elif name == "WE":
+            pins[name] = front_pin(name, PinDirection.INPUT, cap_ff=0.6)
+        else:
+            pins[name] = front_pin(name, PinDirection.INPUT, cap_ff=0.4)
+        pin_offsets[name] = (edge_x(k, len(bottom)) - width_nm / 2,
+                             -height_nm / 2)
+    for k in range(spec.bits):
+        name = f"Q{k}"
+        pins[name] = (dual_pin(name, PinDirection.OUTPUT) if dual
+                      else front_pin(name, PinDirection.OUTPUT))
+        pin_offsets[name] = (edge_x(k, spec.bits) - width_nm / 2,
+                             height_nm / 2)
+
+    # -- obstructions -------------------------------------------------------
+    # The internal array consumes the two lowest metals of each side it
+    # occupies: the lowest fully, the next over the array core (pins on
+    # the boundary ring stay accessible).
+    inset_x = width_nm * (1.0 - UPPER_OBS_FRACTION) / 2
+    inset_y = height_nm * (1.0 - UPPER_OBS_FRACTION) / 2
+    obstructions = [
+        ("FM1", 0.0, 0.0, width_nm, height_nm),
+        ("FM2", inset_x, inset_y, width_nm - inset_x, height_nm - inset_y),
+    ]
+    if dual:
+        obstructions += [
+            ("BM1", 0.0, 0.0, width_nm, height_nm),
+            ("BM2", inset_x, inset_y, width_nm - inset_x, height_nm - inset_y),
+        ]
+
+    # -- characterization ---------------------------------------------------
+    # Access time grows with decoder depth and wordline/bitline length;
+    # the coefficients track the library's D1 gate delays so the macro
+    # is slow-but-plausible relative to the surrounding logic.
+    access_ps = 30.0 + 4.0 * spec.addr_bits + 0.08 * spec.bits
+
+    def q_delay(slew_ps: float, load_ff: float) -> float:
+        return access_ps + 0.05 * slew_ps + 1.5 * load_ff
+
+    def q_transition(slew_ps: float, load_ff: float) -> float:
+        return 6.0 + 0.04 * slew_ps + 1.0 * load_ff
+
+    delay_table = LookupTable.from_function(q_delay)
+    trans_table = LookupTable.from_function(q_transition)
+    arcs = [
+        TimingArc(from_pin="CK", to_pin=f"Q{i}",
+                  rise_delay=delay_table, fall_delay=delay_table,
+                  rise_transition=trans_table, fall_transition=trans_table,
+                  unate="x")
+        for i in range(spec.bits)
+    ]
+
+    bitcells = spec.words * spec.bits
+    energy = LookupTable.from_function(
+        lambda s, l: 0.02 * spec.bits * math.sqrt(spec.words) + 0.05 * l)
+    power = PowerModel(rise_energy=energy, fall_energy=energy,
+                       leakage_nw=0.05 * bitcells)
+    sequential = SequentialTiming(setup_ps=20.0 + 2.0 * spec.addr_bits,
+                                  hold_ps=2.0)
+
+    return MacroMaster(
+        name=macro_name(spec),
+        function="SRAM",
+        drive=1.0,
+        width_cpp=float(width_sites),
+        height_tracks=height_rows * tech.cell_height_tracks,
+        pins=pins,
+        arcs=arcs,
+        power=power,
+        sequential=sequential,
+        n_transistors=6 * bitcells + 12 * width_sites,
+        width_sites=width_sites,
+        height_rows=height_rows,
+        pin_offsets=pin_offsets,
+        obstructions=tuple(obstructions),
+    )
+
+
+def attach_macros(netlist, library) -> list[MacroMaster]:
+    """Compile and register the macros a netlist declares.
+
+    Design generators record their macro instances in
+    ``netlist.attributes["macros"]`` as ``{instance_name: MacroSpec}``.
+    This runs before :meth:`~repro.netlist.Netlist.bind` — both on cold
+    execution and on stage-store restore, because the library artifact
+    is captured at the library stage, before any macros exist.
+    Idempotent: equal specs compile to equal-named masters and the
+    existing master is reused.
+    """
+    specs = netlist.attributes.get("macros")
+    if not specs:
+        return []
+    attached: list[MacroMaster] = []
+    for inst_name in sorted(specs):
+        spec = specs[inst_name]
+        name = macro_name(spec)
+        master = library.masters.get(name)
+        if master is None:
+            master = compile_macro(spec, library.tech)
+            library.add(master)
+        attached.append(master)
+    return attached
+
+
+__all__ = [
+    "BITCELL_SITES",
+    "DECODER_SITES",
+    "PERIPHERY_ROWS",
+    "MacroMaster",
+    "MacroSpec",
+    "attach_macros",
+    "compile_macro",
+    "macro_name",
+]

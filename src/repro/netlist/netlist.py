@@ -221,8 +221,14 @@ class Netlist:
             values[net.name] = bool(inputs[net.name])
         state = state or {}
         for inst in self.sequential_instances(library):
-            out_pin = library[inst.master].output
-            values[inst.connections[out_pin.name]] = bool(state.get(inst.name, False))
+            master = library[inst.master]
+            outs = master.output_pins
+            for out_pin in outs:
+                # A flop's state is keyed by instance name; multi-output
+                # sequential cells (hard macros) key per (inst, pin).
+                key = inst.name if len(outs) == 1 else (inst.name, out_pin.name)
+                values[inst.connections[out_pin.name]] = \
+                    bool(state.get(key, False))
 
         for inst in self.topological_order(library):
             master = library[inst.master]
@@ -242,7 +248,9 @@ class Netlist:
         values = self.simulate(library, inputs, state)
         new_state = {}
         for inst in self.sequential_instances(library):
-            new_state[inst.name] = values[inst.connections["D"]]
+            d_net = inst.connections.get("D")
+            if d_net is not None:
+                new_state[inst.name] = values[d_net]
         return new_state
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

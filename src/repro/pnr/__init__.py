@@ -3,13 +3,14 @@
 from .cts import ClockTreeReport, synthesize_clock_tree
 from .dualside import NetDecomposition, decompose_nets
 from .floorplan import FloorplanSpec, achieved_utilization, plan_floor
-from .geometry import Die, Point, Rect
+from .geometry import Die, MacroSite, Point, Rect
 from .irdrop import IrDropReport, analyze_ir_drop
 from .placement import (
     Placement,
     PlacementError,
     global_place,
     legalize,
+    pin_point,
     place,
 )
 from .refine import RefineReport, refine_placement
@@ -43,6 +44,7 @@ __all__ = [
     "GlobalRouter",
     "LEGALIZATION_PACK_LIMIT",
     "LayerAssignment",
+    "MacroSite",
     "NetDecomposition",
     "NetRoute",
     "NetSpec",
@@ -67,6 +69,7 @@ __all__ = [
     "decompose_nets",
     "global_place",
     "legalize",
+    "pin_point",
     "place",
     "pin_count_map",
     "plan_floor",

@@ -21,7 +21,7 @@ from ..cells import Library
 from ..core.errors import DecompositionError
 from ..netlist import Netlist
 from ..tech import Side
-from .placement import Placement
+from .placement import Placement, pin_point
 from .routing.grid import RoutingGrid
 from .routing.router import NetSpec
 
@@ -120,7 +120,7 @@ def _decompose_once(netlist: Netlist, library: Library, placement: Placement,
             drv_inst, drv_pin = net.driver
             drv_master = library[netlist.instances[drv_inst].master]
             source_sides = set(drv_master.pin(drv_pin).sides)
-            source_point = placement.locations[drv_inst]
+            source_point = pin_point(placement, drv_master, drv_inst, drv_pin)
 
         for side in (Side.FRONT, Side.BACK):
             side_sinks = sinks_by_side[side]
@@ -151,8 +151,9 @@ def _decompose_once(netlist: Netlist, library: Library, placement: Placement,
             if source_point is not None:
                 terminals.append(grid.gcell_of(source_point.x_nm,
                                                source_point.y_nm))
-            for inst_name, _pin in side_sinks:
-                p = placement.locations[inst_name]
+            for inst_name, pin_name in side_sinks:
+                master = library[netlist.instances[inst_name].master]
+                p = pin_point(placement, master, inst_name, pin_name)
                 terminals.append(grid.gcell_of(p.x_nm, p.y_nm))
             if net.is_primary_output and side is Side.FRONT:
                 pad = placement.io_pins.get(net_name)

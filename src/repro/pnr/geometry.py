@@ -51,13 +51,48 @@ class Rect:
 
 
 @dataclass(frozen=True)
+class MacroSite:
+    """One hard macro fixed on the die.
+
+    ``rect`` is the macro footprint in absolute die coordinates;
+    ``halo_nm`` is the keep-out margin legalization enforces around it.
+    ``obstructions`` are ``(layer_name, Rect)`` pairs, also absolute,
+    that the routing grid derates capacity over and the DEF writer
+    emits as BLOCKAGES.
+    """
+
+    name: str                 # netlist instance name
+    master: str               # macro master name in the library
+    rect: Rect
+    halo_nm: float = 0.0
+    obstructions: tuple = ()
+
+    @property
+    def center(self) -> Point:
+        return self.rect.center
+
+    def keepout(self) -> Rect:
+        """Footprint expanded by the halo."""
+        return Rect(self.rect.x0_nm - self.halo_nm,
+                    self.rect.y0_nm - self.halo_nm,
+                    self.rect.x1_nm + self.halo_nm,
+                    self.rect.y1_nm + self.halo_nm)
+
+
+@dataclass(frozen=True)
 class Die:
-    """The placeable core region: a grid of rows and sites."""
+    """The placeable core region: a grid of rows and sites.
+
+    ``macros`` lists the hard macros fixed by the floorplanner; empty
+    for pure standard-cell designs, where every consumer reduces to the
+    original macro-free behavior.
+    """
 
     rows: int
     sites_per_row: int
     site_width_nm: float
     row_height_nm: float
+    macros: tuple = ()
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.sites_per_row < 1:

@@ -73,6 +73,23 @@ class Placement:
         return points
 
 
+def pin_point(placement: Placement, master, instance: str,
+              pin_name: str) -> Point:
+    """Physical location of one pin of a placed instance.
+
+    Standard-cell pins coincide with the cell center (the exact same
+    ``Point`` object, preserving float identity for the macro-free
+    paths); hard macros carry per-pin boundary offsets from the macro
+    center (:class:`repro.macros.MacroMaster.pin_offsets`).
+    """
+    base = placement.locations[instance]
+    offsets = getattr(master, "pin_offsets", None)
+    if not offsets:
+        return base
+    dx, dy = offsets.get(pin_name, (0.0, 0.0))
+    return Point(base.x_nm + dx, base.y_nm + dy)
+
+
 def _io_pad_positions(netlist: Netlist, die: Die) -> dict[str, Point]:
     """Deterministically spread IO nets around the die periphery.
 
@@ -173,6 +190,19 @@ def global_place(netlist: Netlist, library: Library, die: Die,
 
     movable = cell_weight > 0
 
+    # Hard macros are fixed by the floorplan: pin them at their die
+    # positions so they act as anchors (like IO pads) instead of
+    # floating with the relaxation.
+    macro_ids: list[int] = []
+    for m in getattr(die, "macros", ()):
+        i = index.get(m.name)
+        if i is None:
+            continue
+        macro_ids.append(i)
+        xs[i] = m.center.x_nm
+        ys[i] = m.center.y_nm
+        movable[i] = False
+
     def _rescale() -> None:
         # Re-expand to fill the die: pure relaxation collapses to a
         # point, which loses all ordering information.  Keeping the
@@ -265,7 +295,17 @@ def global_place(netlist: Netlist, library: Library, die: Die,
     for name, i in index.items():
         weights[i] = max(1.0, library[netlist.instances[name].master].width_cpp)
     partitioner = _MinCutPartitioner(e_net, e_cell, n, weights)
-    partitioner.place(xs, ys, die.width_nm, die.height_nm)
+    if macro_ids:
+        fixed = set(macro_ids)
+        partitioner.place(xs, ys, die.width_nm, die.height_nm,
+                          cells=[c for c in range(n) if c not in fixed])
+        for m in getattr(die, "macros", ()):
+            i = index.get(m.name)
+            if i is not None:
+                xs[i] = m.center.x_nm
+                ys[i] = m.center.y_nm
+    else:
+        partitioner.place(xs, ys, die.width_nm, die.height_nm)
 
     placement = Placement(die=die, io_pins=pads)
     for name, i in index.items():
@@ -304,8 +344,11 @@ class _MinCutPartitioner:
         }
 
     def place(self, xs: np.ndarray, ys: np.ndarray,
-              width: float, height: float) -> None:
-        self._split(xs, ys, list(range(self.n_cells)),
+              width: float, height: float,
+              cells: list[int] | None = None) -> None:
+        if cells is None:
+            cells = list(range(self.n_cells))
+        self._split(xs, ys, cells,
                     0.0, 0.0, width, height, horizontal=True)
 
     # -- recursion ---------------------------------------------------------
@@ -405,6 +448,23 @@ def legalize(placement: Placement, netlist: Netlist, library: Library,
     die = placement.die
     blocked = powerplan.blocked_sites()
 
+    # Hard macro footprints + halos are first-class blockages, exactly
+    # like the tap-cell sites: their rows/sites are carved out of the
+    # free segments below and the macros re-commit at their floorplan
+    # positions.
+    macros = getattr(die, "macros", ())
+    macro_names = {m.name for m in macros}
+    if macros:
+        blocked = blocked.copy()
+        for m in macros:
+            ko = m.keepout()
+            r0 = max(0, int(math.floor(ko.y0_nm / die.row_height_nm)))
+            r1 = min(die.rows, int(math.ceil(ko.y1_nm / die.row_height_nm)))
+            s0 = max(0, int(math.floor(ko.x0_nm / die.site_width_nm)))
+            s1 = min(die.sites_per_row,
+                     int(math.ceil(ko.x1_nm / die.site_width_nm)))
+            blocked[r0:r1, s0:s1] = True
+
     # Free segments (start, end) per row, excluding blocked sites.
     segments: list[list[list[int]]] = []
     for row in range(die.rows):
@@ -430,6 +490,7 @@ def legalize(placement: Placement, netlist: Netlist, library: Library,
     widths = {
         name: max(1, math.ceil(library[inst.master].width_cpp))
         for name, inst in netlist.instances.items()
+        if name not in macro_names
     }
     total_width = sum(widths.values())
     if total_width > sum(capacity):
@@ -442,10 +503,10 @@ def legalize(placement: Placement, netlist: Netlist, library: Library,
     # little above the average load keeps rows evenly filled (a row
     # stuffed to 100 % forces huge x displacements when packed); the
     # hard capacity is the fallback when the soft caps are exhausted.
-    order = sorted(netlist.instances,
+    order = sorted(widths,
                    key=lambda name: (placement.locations[name].y_nm,
                                      placement.locations[name].x_nm))
-    max_width = max(widths.values())
+    max_width = max(widths.values()) if widths else 1
     mean_load = total_width / die.rows
     soft_cap = [
         min(cap, int(mean_load + max_width + 2)) for cap in capacity
@@ -526,6 +587,8 @@ def legalize(placement: Placement, netlist: Netlist, library: Library,
                 f"no free span for {name} (width {w} sites): placement "
                 "violation between standard cells and Power Tap Cells"
             )
+    for m in macros:
+        legal.locations[m.name] = m.rect.center
     return legal
 
 
@@ -598,6 +661,8 @@ def _pack_row(cells: list[str], row_segments: list[list[int]],
         for name, pos in zip(group, positions):
             starts[name] = pos
     return starts, spilled
+
+
 def place(netlist: Netlist, library: Library, die: Die,
           powerplan: PowerPlan, seed: int = 0) -> Placement:
     """Global placement + legalization in one call."""

@@ -79,11 +79,13 @@ def refine_placement(netlist: Netlist, library: Library,
     die = placement.die
     hpwl = _IncrementalHpwl(netlist, placement)
 
+    macro_names = {m.name for m in getattr(die, "macros", ())}
     widths = {
         name: max(1, math.ceil(library[inst.master].width_cpp))
         for name, inst in netlist.instances.items()
+        if name not in macro_names
     }
-    names = sorted(netlist.instances)
+    names = sorted(widths)
     by_width: dict[int, list[str]] = {}
     for name in names:
         by_width.setdefault(widths[name], []).append(name)

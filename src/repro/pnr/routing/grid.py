@@ -131,6 +131,31 @@ def build_grid(tech: TechNode, die: Die, side: Side, powerplan: PowerPlan,
             v_share = v_low / low
             node_h -= np.minimum(blocked * h_share, h_low)
             node_v -= np.minimum(blocked * v_share, v_low)
+    macros = getattr(die, "macros", ())
+    if macros:
+        layer_by_name = {l.name: l for l in layers}
+        for macro in macros:
+            for layer_name, rect in macro.obstructions:
+                layer = layer_by_name.get(layer_name)
+                if layer is None:
+                    continue  # obstruction lives on the other wafer side
+                tracks = layer_tracks(layer)
+                target = node_h if layer.direction.value == "H" else node_v
+                c0 = min(max(int(rect.x0_nm // gcell_nm), 0), cols - 1)
+                c1 = min(max(int(np.ceil(rect.x1_nm / gcell_nm)), c0 + 1), cols)
+                r0 = min(max(int(rect.y0_nm // gcell_nm), 0), rows - 1)
+                r1 = min(max(int(np.ceil(rect.y1_nm / gcell_nm)), r0 + 1), rows)
+                for r in range(r0, r1):
+                    y_lo, y_hi = r * gcell_nm, (r + 1) * gcell_nm
+                    fy = (min(rect.y1_nm, y_hi) - max(rect.y0_nm, y_lo)) / gcell_nm
+                    if fy <= 0:
+                        continue
+                    for c in range(c0, c1):
+                        x_lo, x_hi = c * gcell_nm, (c + 1) * gcell_nm
+                        fx = ((min(rect.x1_nm, x_hi) - max(rect.x0_nm, x_lo))
+                              / gcell_nm)
+                        if fx > 0:
+                            target[r, c] -= tracks * fx * fy
     node_h = np.maximum(node_h, 0.5)
     node_v = np.maximum(node_v, 0.5)
 

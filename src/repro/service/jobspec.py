@@ -43,7 +43,10 @@ AXES = ("utilization", "frequency", "layers", "cts")
 
 #: Designs a spec can name.  Factories must be picklable (they cross
 #: the worker process pool), hence the module-level classes below.
-DESIGN_TYPES = ("riscv", "multiplier")
+#: ``riscv``/``multiplier`` take size parameters; the portfolio names
+#: (:data:`repro.synth.designs.PORTFOLIO`) run with their own defaults.
+DESIGN_TYPES = ("riscv", "multiplier", "rv16_sram", "rv16_cache",
+                "rv16_tile", "counter", "fir")
 
 #: Priority bounds; higher runs earlier.
 PRIORITY_MIN, PRIORITY_MAX = -100, 100
@@ -66,6 +69,9 @@ class DesignSpec:
         if self.type == "multiplier":
             from ..synth import generate_multiplier
             return generate_multiplier(self.bits)
+        if self.type != "riscv":
+            from ..synth.designs import PORTFOLIO
+            return PORTFOLIO[self.type]()
         from ..synth import RiscvConfig, generate_riscv_core
         return generate_riscv_core(RiscvConfig(
             xlen=self.xlen, nregs=self.nregs, name=f"rv{self.xlen}"))

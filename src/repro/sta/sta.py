@@ -180,14 +180,18 @@ def analyze_timing(netlist: Netlist, library: Library, extraction: Extraction,
     # Sequential launch points (CK -> Q).
     for inst in netlist.sequential_instances(library):
         master = library[inst.master]
-        out_net = inst.connections[master.output.name]
         ck_arr = clock_arrivals.get(inst.name, 0.0)
-        load = net_load(out_net)
-        arc = master.arcs[0]
-        out = PinTiming()
-        _propagate_arc(arc, PinTiming.at_time(ck_arr), load, out)
-        net_timing[out_net] = out
-        net_from[out_net] = (inst.name, "CK")
+        # One launch per clock-to-output arc: a DFF has exactly one
+        # (CK -> Q); a hard macro launches every data output.
+        for arc in master.arcs:
+            out_net = inst.connections.get(arc.to_pin)
+            if out_net is None:
+                continue
+            load = net_load(out_net)
+            out = PinTiming()
+            _propagate_arc(arc, PinTiming.at_time(ck_arr), load, out)
+            net_timing[out_net] = out
+            net_from[out_net] = (inst.name, "CK")
 
     # Combinational propagation in topological order.
     tracer = current_tracer()
@@ -210,20 +214,23 @@ def analyze_timing(netlist: Netlist, library: Library, extraction: Extraction,
     endpoints = 0
     for inst in netlist.sequential_instances(library):
         master = library[inst.master]
-        d_net = inst.connections["D"]
-        if d_net not in net_timing:
-            continue
-        endpoints += 1
-        pt = input_timing(d_net, inst.name, "D")
-        required = period_ps + clock_arrivals.get(inst.name, 0.0) \
-            - master.sequential.setup_ps
-        slack = required - pt.worst_arrival_ps
-        tns += min(slack, 0.0)
-        if slack < wns:
-            wns = slack
-            worst_endpoint = inst.name
-            worst_net = d_net
-            worst_arrival = pt.worst_arrival_ps
+        # Every non-clock input is a setup endpoint: D on a flop, the
+        # address/data/enable pins on a hard macro.
+        for pin in master.input_pins:
+            d_net = inst.connections.get(pin.name)
+            if d_net is None or d_net not in net_timing:
+                continue
+            endpoints += 1
+            pt = input_timing(d_net, inst.name, pin.name)
+            required = period_ps + clock_arrivals.get(inst.name, 0.0) \
+                - master.sequential.setup_ps
+            slack = required - pt.worst_arrival_ps
+            tns += min(slack, 0.0)
+            if slack < wns:
+                wns = slack
+                worst_endpoint = inst.name
+                worst_net = d_net
+                worst_arrival = pt.worst_arrival_ps
     for net in netlist.primary_outputs:
         if net.name not in net_timing or net.is_primary_input:
             continue
@@ -367,9 +374,10 @@ class _TimingPrep:
         for inst in instances.values():
             t = self._template(library, inst.master)
             if t.is_seq:
-                d = inst.connections.get("D")
-                if d is not None:
-                    d_nets.append(d)
+                for pin in t.in_pin_names:
+                    d = inst.connections.get(pin)
+                    if d is not None:
+                        d_nets.append(d)
                 continue
             if t.out_pin is None:
                 continue

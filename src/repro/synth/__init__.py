@@ -1,7 +1,15 @@
 """Synthesis substrate: netlist builder, RISC-V generator, sizing."""
 
 from .builder import NetlistBuilder, master_base
-from .designs import generate_counter, generate_fir_filter, generate_multiplier
+from .designs import (
+    PORTFOLIO,
+    generate_counter,
+    generate_fir_filter,
+    generate_multiplier,
+    generate_rv16_cache,
+    generate_rv16_sram,
+    generate_rv16_tile,
+)
 from .riscv import RiscvConfig, generate_riscv_core
 from .opt import OptReport, collapse_inverter_pairs, optimize, propagate_constants, sweep_dead_gates
 from .scan import ScanChainReport, insert_scan_chain
@@ -9,6 +17,7 @@ from .sizing import SizingReport, buffer_high_fanout, size_for_target
 
 __all__ = [
     "NetlistBuilder",
+    "PORTFOLIO",
     "RiscvConfig",
     "OptReport",
     "SizingReport",
@@ -18,6 +27,9 @@ __all__ = [
     "generate_fir_filter",
     "generate_multiplier",
     "generate_riscv_core",
+    "generate_rv16_cache",
+    "generate_rv16_sram",
+    "generate_rv16_tile",
     "collapse_inverter_pairs",
     "insert_scan_chain",
     "optimize",

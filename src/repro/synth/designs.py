@@ -1,7 +1,25 @@
-"""Small auxiliary benchmark designs besides the RISC-V core."""
+"""The benchmark design portfolio beyond the plain RISC-V core.
+
+Besides the small auxiliary blocks (counter, multiplier, FIR), this
+module grows the portfolio the paper's block-level claims need:
+
+* :func:`generate_rv16_sram` — a scaled RISC-V core whose data memory
+  is an on-die SRAM hard macro (``repro.macros``) instead of primary
+  IO, so every physical stage sees real blockage and macro-pin
+  pressure;
+* :func:`generate_rv16_cache` — the same core with a second SRAM used
+  as an instruction/line cache (two macros, asymmetric sizes);
+* :func:`generate_rv16_tile` — a 2-core tile sharing one clock, the
+  largest macro design (two cores, two SRAMs).
+
+``PORTFOLIO`` maps CLI/service design names to picklable zero-argument
+factories; ``repro run --design rv16_sram`` and the sweep/MC/serve
+paths resolve through it.
+"""
 
 from __future__ import annotations
 
+from ..macros import MacroSpec
 from ..netlist import Netlist
 from .builder import NetlistBuilder
 
@@ -91,3 +109,133 @@ def generate_fir_filter(taps: int = 4, width: int = 6,
         carry_line = [b.dff(bit) for bit in summed]
     b.outputs(carry_line, "y")
     return b.netlist
+
+
+# -- macro designs ------------------------------------------------------------
+
+
+def _attach_sram(netlist: Netlist, inst_name: str, spec: MacroSpec, *,
+                 ck: str, we: str, addr: list[str], data: list[str],
+                 q: list[str]) -> None:
+    """Wire one SRAM macro instance into an existing netlist.
+
+    ``q`` nets must already exist; if they were primary inputs (the
+    core's external-memory ports), they become macro-driven instead.
+    """
+    if len(addr) < spec.addr_bits or len(data) < spec.bits:
+        raise ValueError(f"{inst_name}: not enough address/data nets "
+                         f"for {spec.name}")
+    if len(q) != spec.bits:
+        raise ValueError(f"{inst_name}: need exactly {spec.bits} Q nets")
+    connections = {"CK": ck, "WE": we}
+    for i in range(spec.addr_bits):
+        connections[f"A{i}"] = addr[i]
+    for i in range(spec.bits):
+        connections[f"D{i}"] = data[i]
+    for i in range(spec.bits):
+        q_net = netlist.add_net(q[i])
+        # The macro now drives this net; a former primary input would
+        # otherwise be multiply driven at bind time.
+        q_net.is_primary_input = False
+        connections[f"Q{i}"] = q[i]
+    netlist.add_instance(inst_name, spec.name, connections)
+    macros = netlist.attributes.setdefault("macros", {})
+    macros[inst_name] = spec
+
+
+def generate_rv16_sram(xlen: int = 16, nregs: int = 8, words: int = 32,
+                       name: str = "rv16_sram") -> Netlist:
+    """A scaled RISC-V core with an SRAM-macro data memory.
+
+    The core's ``dmem_*`` ports, external on the plain design, close
+    onto an on-die ``SRAM{words}X{xlen}`` hard macro: address/data/WE
+    drive the macro's frontside pins, the read data returns from the
+    macro's (dual-sided under FFET) Q pins.
+    """
+    from .riscv import RiscvConfig, generate_riscv_core
+
+    netlist = generate_riscv_core(RiscvConfig(xlen=xlen, nregs=nregs,
+                                              name=name))
+    _attach_sram(
+        netlist, "u_dmem", MacroSpec(words=words, bits=xlen),
+        ck="clk",
+        we="dmem_we",
+        addr=[f"dmem_addr[{i}]" for i in range(xlen)],
+        data=[f"dmem_wdata[{i}]" for i in range(xlen)],
+        q=[f"dmem_rdata[{i}]" for i in range(xlen)],
+    )
+    return netlist
+
+
+def generate_rv16_cache(xlen: int = 16, nregs: int = 8, words: int = 32,
+                        cache_words: int = 16,
+                        name: str = "rv16_cache") -> Netlist:
+    """The SRAM-backed core plus a second SRAM as an instruction cache.
+
+    The cache macro snoops the word-aligned PC as its address and the
+    store datapath as its fill port; its read data leaves the block as
+    primary outputs.  Two differently sized macros make the floorplan
+    genuinely irregular.
+    """
+    netlist = generate_rv16_sram(xlen=xlen, nregs=nregs, words=words,
+                                 name=name)
+    cache = MacroSpec(words=cache_words, bits=xlen)
+    for i in range(xlen):
+        netlist.add_net(f"icache_rdata[{i}]", primary_output=True)
+    # Word-aligned fetch: address bits start above the byte offset.
+    pc = [f"pc[{i}]" for i in range(xlen)]
+    _attach_sram(
+        netlist, "u_icache", cache,
+        ck="clk",
+        we="dmem_we",
+        addr=pc[2:2 + cache.addr_bits] if 2 + cache.addr_bits <= xlen
+        else pc[:cache.addr_bits],
+        data=[f"dmem_wdata[{i}]" for i in range(xlen)],
+        q=[f"icache_rdata[{i}]" for i in range(xlen)],
+    )
+    return netlist
+
+
+def generate_rv16_tile(cores: int = 2, xlen: int = 16, nregs: int = 8,
+                       words: int = 32, name: str = "rv16_tile") -> Netlist:
+    """A multi-core tile: ``cores`` SRAM-backed cores on one clock."""
+    if cores < 1:
+        raise ValueError("tile needs at least one core")
+    tile = Netlist(name)
+    for k in range(cores):
+        core = generate_rv16_sram(xlen=xlen, nregs=nregs, words=words,
+                                  name=f"{name}_c{k}")
+        _merge_prefixed(tile, core, f"c{k}/")
+    return tile
+
+
+def _merge_prefixed(dst: Netlist, src: Netlist, prefix: str,
+                    shared: frozenset[str] = frozenset({"clk"})) -> None:
+    """Copy ``src`` into ``dst`` with all names prefixed except ``shared``."""
+
+    def rename(net_name: str) -> str:
+        return net_name if net_name in shared else prefix + net_name
+
+    for net in src.nets.values():
+        dst.add_net(rename(net.name),
+                    primary_input=net.is_primary_input,
+                    primary_output=net.is_primary_output,
+                    clock=net.is_clock)
+    for inst in src.instances.values():
+        dst.add_instance(prefix + inst.name, inst.master,
+                         {p: rename(n) for p, n in inst.connections.items()})
+    for inst_name, spec in src.attributes.get("macros", {}).items():
+        dst.attributes.setdefault("macros", {})[prefix + inst_name] = spec
+
+
+#: Design name -> zero-argument netlist factory (all picklable,
+#: module-level functions), the registry behind ``repro run --design``
+#: and the service job specs.
+PORTFOLIO: dict[str, object] = {
+    "counter": generate_counter,
+    "multiplier": generate_multiplier,
+    "fir": generate_fir_filter,
+    "rv16_sram": generate_rv16_sram,
+    "rv16_cache": generate_rv16_cache,
+    "rv16_tile": generate_rv16_tile,
+}

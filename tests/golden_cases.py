@@ -11,7 +11,12 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.core import FlowConfig
-from repro.synth import RiscvConfig, generate_multiplier, generate_riscv_core
+from repro.synth import (
+    RiscvConfig,
+    generate_multiplier,
+    generate_riscv_core,
+    generate_rv16_sram,
+)
 
 GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "headline_ppa.json"
 
@@ -34,6 +39,13 @@ class RiscvTinyFactory:
                                                name="rv_tiny"))
 
 
+class SramCoreFactory:
+    """Picklable factory for the SRAM-macro-backed RISC-V core."""
+
+    def __call__(self):
+        return generate_rv16_sram()
+
+
 #: The headline PPA comparison (FFET dual-sided vs FFET FM12 vs CFET)
 #: at the default config, plus one RISC-V point — the numbers the
 #: parallel and cached paths must reproduce bit-for-bit.
@@ -51,4 +63,8 @@ CASES: dict[str, tuple[object, FlowConfig]] = {
     # by default) stays bit-for-bit unchanged.
     "ffet_dualcts_mult5": (MultiplierFactory(5),
                            FlowConfig(cts_mode="dual")),
+    # The macro path: an SRAM hard macro exercises floorplan keep-outs,
+    # blockage-aware legalization, derated routing capacity and the
+    # macro LEF/DEF emission on every regression run.
+    "ffet_dual_rv16_sram": (SramCoreFactory(), FlowConfig()),
 }

@@ -54,6 +54,8 @@ FIELD_VALUES = {
         .map(lambda x: x + 0.0)
         .filter(lambda x: x != BASE.cts_back_fraction),
     "activity": st.floats(0.01, 1.0).filter(lambda x: x != BASE.activity),
+    "macro_halo_cpp": st.integers(0, 8)
+        .filter(lambda x: x != BASE.macro_halo_cpp),
     "allow_bridging": st.just(True),
     "power_stripe_pitch_cpp": st.integers(4, 64),
     "rrr_iterations": st.integers(0, 32)

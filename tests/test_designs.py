@@ -71,3 +71,37 @@ class TestMultiplier:
         nl = generate_multiplier(4, registered=True)
         nl.bind(ffet_lib)
         assert len(nl.sequential_instances(ffet_lib)) == 4 + 4 + 8
+
+
+class TestPortfolio:
+    def test_registry_names_and_factories(self):
+        from repro.synth import PORTFOLIO
+        expected = {"counter", "multiplier", "fir", "rv16_sram",
+                    "rv16_cache", "rv16_tile"}
+        assert set(PORTFOLIO) == expected
+        for name, factory in PORTFOLIO.items():
+            assert callable(factory), name
+
+    def test_cache_design_has_two_macros(self):
+        from repro.synth import generate_rv16_cache
+        nl = generate_rv16_cache(xlen=8, nregs=8, words=8, cache_words=4)
+        macros = nl.attributes["macros"]
+        assert set(macros) == {"u_dmem", "u_icache"}
+        # Asymmetric sizes: the I-cache is the smaller array.
+        assert macros["u_icache"].words < macros["u_dmem"].words
+        assert any(n.startswith("icache_rdata")
+                   for n in nl.nets if nl.nets[n].is_primary_output)
+
+    def test_tile_prefixes_everything_but_the_clock(self):
+        from repro.synth import generate_rv16_tile
+        nl = generate_rv16_tile(cores=2, xlen=8, nregs=8, words=8)
+        macros = nl.attributes["macros"]
+        assert set(macros) == {"c0/u_dmem", "c1/u_dmem"}
+        assert "clk" in nl.nets and nl.nets["clk"].is_clock
+        prefixed = [n for n in nl.instances if not n.startswith(("c0/", "c1/"))]
+        assert prefixed == []
+
+    def test_tile_validates_core_count(self):
+        from repro.synth import generate_rv16_tile
+        with pytest.raises(ValueError):
+            generate_rv16_tile(cores=0)

@@ -1,0 +1,231 @@
+"""Property tests for the SRAM macro compiler and macro-aware stages.
+
+The compiler contract: pins land on the macro boundary on the CPP
+grid, obstructions stay inside the outline and respect the tech's
+sidedness, and compilation is a pure function of (spec, tech).  The
+physical contract: legalization never parks a standard cell inside a
+macro keep-out, and the floorplanner's utilization accounting stays
+meaningful with macros on the die.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_library, make_cfet_node, make_ffet_node
+from repro.macros import (
+    DECODER_SITES,
+    FOLD_MUX,
+    FOLD_THRESHOLD_WORDS,
+    PERIPHERY_ROWS,
+    MacroSpec,
+    attach_macros,
+    compile_macro,
+    macro_name,
+)
+from repro.pnr import (
+    FloorplanSpec,
+    achieved_utilization,
+    global_place,
+    legalize,
+    plan_floor,
+    plan_power,
+)
+from repro.synth import generate_rv16_sram
+from repro.tech import Side
+
+SPECS = st.builds(
+    MacroSpec,
+    words=st.sampled_from([4, 8, 16, 32, 64, 128]),
+    bits=st.integers(1, 32),
+)
+
+
+@pytest.fixture(scope="module")
+def ffet_tech():
+    return make_ffet_node()
+
+
+@pytest.fixture(scope="module")
+def cfet_tech():
+    return make_cfet_node()
+
+
+@pytest.fixture(scope="module")
+def macro_lib():
+    """A private library: attach_macros mutates it (adds SRAM masters),
+    which must not leak into the session-scoped ``ffet_lib``."""
+    return build_library(make_ffet_node())
+
+
+class TestMacroSpec:
+    def test_rejects_non_power_of_two_words(self):
+        with pytest.raises(ValueError):
+            MacroSpec(words=12)
+        with pytest.raises(ValueError):
+            MacroSpec(words=2)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            MacroSpec(bits=0)
+
+    @given(spec=SPECS)
+    def test_name_encodes_parameters(self, spec):
+        assert macro_name(spec) == f"SRAM{spec.words}X{spec.bits}"
+        assert spec.addr_bits == int(math.log2(spec.words))
+
+
+class TestCompileMacro:
+    @given(spec=SPECS)
+    @settings(max_examples=40, deadline=None)
+    def test_pins_sit_on_the_boundary_on_grid(self, spec, ffet_tech):
+        m = compile_macro(spec, ffet_tech)
+        cpp = ffet_tech.cpp_nm
+        width_nm = m.width_sites * cpp
+        height_nm = m.height_rows * ffet_tech.cell_height_nm
+        for name, (dx, dy) in m.pin_offsets.items():
+            x = dx + width_nm / 2
+            y = dy + height_nm / 2
+            # Bottom edge for inputs, top edge for the Q outputs.
+            assert y == pytest.approx(0.0 if not name.startswith("Q")
+                                      else height_nm)
+            assert 0.0 <= x <= width_nm
+            assert x / cpp == pytest.approx(round(x / cpp)), (name, x)
+
+    @given(spec=SPECS)
+    @settings(max_examples=40, deadline=None)
+    def test_pin_map_is_complete(self, spec, ffet_tech):
+        m = compile_macro(spec, ffet_tech)
+        expected = ({"CK", "WE"}
+                    | {f"A{i}" for i in range(spec.addr_bits)}
+                    | {f"D{i}" for i in range(spec.bits)}
+                    | {f"Q{i}" for i in range(spec.bits)})
+        assert set(m.pins) == expected
+        assert set(m.pin_offsets) == expected
+        # One CK->Q arc per output bit; the macro is sequential.
+        assert len(m.arcs) == spec.bits
+        assert m.sequential is not None
+
+    @given(spec=SPECS)
+    @settings(max_examples=40, deadline=None)
+    def test_obstructions_stay_inside_the_outline(self, spec, ffet_tech):
+        m = compile_macro(spec, ffet_tech)
+        width_nm = m.width_sites * ffet_tech.cpp_nm
+        height_nm = m.height_rows * ffet_tech.cell_height_nm
+        assert m.obstructions
+        for layer, x0, y0, x1, y1 in m.obstructions:
+            assert 0.0 <= x0 < x1 <= width_nm, layer
+            assert 0.0 <= y0 < y1 <= height_nm, layer
+
+    @given(spec=SPECS)
+    @settings(max_examples=20, deadline=None)
+    def test_sidedness_follows_the_tech(self, spec, ffet_tech, cfet_tech):
+        dual = compile_macro(spec, ffet_tech)
+        single = compile_macro(spec, cfet_tech)
+        assert Side.BACK in dual.pins["CK"].sides
+        assert any(l.startswith("B") for l, *_ in dual.obstructions)
+        assert single.pins["CK"].sides == frozenset({Side.FRONT})
+        assert not any(l.startswith("B") for l, *_ in single.obstructions)
+
+    @given(spec=SPECS)
+    @settings(max_examples=20, deadline=None)
+    def test_compilation_is_deterministic(self, spec, ffet_tech):
+        a = compile_macro(spec, ffet_tech)
+        b = compile_macro(spec, ffet_tech)
+        assert a.name == b.name
+        assert (a.width_sites, a.height_rows) == (b.width_sites, b.height_rows)
+        assert a.pin_offsets == b.pin_offsets
+        assert a.obstructions == b.obstructions
+
+    @given(spec=SPECS)
+    @settings(max_examples=20, deadline=None)
+    def test_folding_bounds_the_aspect(self, spec, ffet_tech):
+        m = compile_macro(spec, ffet_tech)
+        mux = FOLD_MUX if spec.words >= FOLD_THRESHOLD_WORDS else 1
+        assert m.width_sites == DECODER_SITES + spec.bits * mux
+        assert m.height_rows == spec.words // mux + PERIPHERY_ROWS
+        assert m.width_cpp == float(m.width_sites)
+
+
+class TestAttachMacros:
+    def test_idempotent_and_shared(self, macro_lib):
+        netlist = generate_rv16_sram(xlen=8, nregs=8, words=8)
+        first = attach_macros(netlist, macro_lib)
+        second = attach_macros(netlist, macro_lib)
+        assert [m.name for m in first] == ["SRAM8X8"]
+        assert first[0] is second[0]
+        assert "SRAM8X8" in macro_lib.masters
+
+    def test_macro_free_netlist_is_a_no_op(self, macro_lib, counter8):
+        assert attach_macros(counter8, macro_lib) == []
+
+
+@pytest.fixture(scope="module")
+def bound_sram(macro_lib):
+    netlist = generate_rv16_sram(xlen=8, nregs=8, words=16)
+    attach_macros(netlist, macro_lib)
+    netlist.bind(macro_lib)
+    return netlist
+
+
+class TestMacroFloorplan:
+    @given(halo=st.integers(0, 4),
+           utilization=st.floats(0.4, 0.8))
+    @settings(max_examples=10, deadline=None)
+    def test_macros_fixed_inside_die_with_halo(self, halo, utilization,
+                                               bound_sram, macro_lib):
+        spec = FloorplanSpec(utilization=utilization, macro_halo_cpp=halo)
+        die = plan_floor(bound_sram, macro_lib, spec)
+        assert len(die.macros) == 1
+        m = die.macros[0]
+        assert m.halo_nm == halo * macro_lib.tech.cpp_nm
+        ko = m.keepout()
+        assert 0.0 <= ko.x0_nm and ko.x1_nm <= die.width_nm
+        assert 0.0 <= ko.y0_nm and ko.y1_nm <= die.height_nm
+        # Obstruction rects are absolute and inside the macro footprint.
+        for _layer, rect in m.obstructions:
+            assert m.rect.x0_nm <= rect.x0_nm < rect.x1_nm <= m.rect.x1_nm
+            assert m.rect.y0_nm <= rect.y0_nm < rect.y1_nm <= m.rect.y1_nm
+
+    @given(utilization=st.floats(0.4, 0.8))
+    @settings(max_examples=10, deadline=None)
+    def test_achieved_utilization_accounts_for_macros(self, utilization,
+                                                      bound_sram, macro_lib):
+        spec = FloorplanSpec(utilization=utilization)
+        die = plan_floor(bound_sram, macro_lib, spec)
+        achieved = achieved_utilization(bound_sram, macro_lib, die)
+        assert 0.0 < achieved <= utilization + 1e-9
+
+
+class TestMacroLegalization:
+    @given(halo=st.integers(0, 3), seed=st.integers(0, 3))
+    @settings(max_examples=6, deadline=None)
+    def test_no_cell_lands_in_a_keepout(self, halo, seed, bound_sram,
+                                        macro_lib):
+        tech = macro_lib.tech
+        die = plan_floor(bound_sram, macro_lib,
+                         FloorplanSpec(utilization=0.6, macro_halo_cpp=halo))
+        powerplan = plan_power(tech, die)
+        rough = global_place(bound_sram, macro_lib, die, seed=seed)
+        legal = legalize(rough, bound_sram, macro_lib, powerplan)
+        keepouts = [m.keepout() for m in die.macros]
+        for name, p in legal.locations.items():
+            if name in {m.name for m in die.macros}:
+                continue
+            for ko in keepouts:
+                assert not (ko.x0_nm < p.x_nm < ko.x1_nm
+                            and ko.y0_nm < p.y_nm < ko.y1_nm), (
+                    f"{name} legalized inside a macro keep-out")
+
+    def test_macros_recommitted_at_floorplan_position(self, bound_sram,
+                                                      macro_lib):
+        die = plan_floor(bound_sram, macro_lib, FloorplanSpec(utilization=0.6))
+        powerplan = plan_power(macro_lib.tech, die)
+        rough = global_place(bound_sram, macro_lib, die, seed=0)
+        legal = legalize(rough, bound_sram, macro_lib, powerplan)
+        for m in die.macros:
+            assert legal.locations[m.name] == m.rect.center

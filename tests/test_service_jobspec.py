@@ -82,6 +82,19 @@ class TestDesigns:
         with pytest.raises(JobSpecError, match="bits"):
             parse_jobspec(spec(design={"type": "multiplier", "bits": 1}))
 
+    def test_portfolio_designs_are_accepted(self):
+        for dtype in ("rv16_sram", "rv16_cache", "rv16_tile",
+                      "counter", "fir"):
+            job = parse_jobspec(spec(design={"type": dtype}))
+            assert job.design.type == dtype
+
+    def test_macro_design_factory_declares_its_macros(self):
+        design = parse_jobspec(spec(design={"type": "rv16_sram"})).design
+        clone = pickle.loads(pickle.dumps(design))
+        netlist = clone()
+        assert isinstance(netlist, Netlist)
+        assert "u_dmem" in netlist.attributes.get("macros", {})
+
 
 class TestSweepExpansion:
     def test_layers_axis_expands_splits(self):

@@ -48,6 +48,7 @@ PERTURBATIONS = {
     "cts_mode": "dual",
     "cts_back_fraction": 0.25,
     "activity": 0.5,
+    "macro_halo_cpp": 4,
     "allow_bridging": True,
     "power_stripe_pitch_cpp": 24,
     "rrr_iterations": 4,
